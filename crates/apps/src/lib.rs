@@ -1,0 +1,17 @@
+//! `iwarp-apps` — the evaluation applications from the paper's Section VI.B.
+//!
+//! * [`media`] — a VLC-like streaming workload: a server pushes a media
+//!   object in chunks; the client measures **initial buffering time** (the
+//!   paper's Fig. 9 metric). Three transports: UDP-style datagram
+//!   streaming over the iWARP socket shim (UD), HTTP-over-stream (RC),
+//!   and native UDP (no iWARP) for the shim-overhead measurement (§VI.B.2).
+//! * [`sip`] — a SIPp-like workload: a minimal SIP codec, a UAS that
+//!   handles INVITE/ACK/BYE transactions, and a SipStone-style load
+//!   generator measuring **request/response time** (Fig. 10) and
+//!   **server memory at N concurrent calls** (Fig. 11), with all socket,
+//!   connection and call state measured by the instrumented registry.
+
+#![warn(missing_docs)]
+
+pub mod media;
+pub mod sip;

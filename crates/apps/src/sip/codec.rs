@@ -1,0 +1,444 @@
+//! SIP message codec: the RFC 3261 text grammar subset that SIPp's
+//! SipStone scenario exercises (INVITE / ACK / BYE transactions with the
+//! core headers).
+
+use std::fmt;
+
+/// SIP request methods used by the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SipMethod {
+    /// Session setup.
+    Invite,
+    /// Three-way-handshake completion for INVITE.
+    Ack,
+    /// Session teardown.
+    Bye,
+    /// Keepalive / capability query.
+    Options,
+    /// Registration.
+    Register,
+}
+
+impl SipMethod {
+    /// Canonical token.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SipMethod::Invite => "INVITE",
+            SipMethod::Ack => "ACK",
+            SipMethod::Bye => "BYE",
+            SipMethod::Options => "OPTIONS",
+            SipMethod::Register => "REGISTER",
+        }
+    }
+
+    /// Parses a method token.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "INVITE" => SipMethod::Invite,
+            "ACK" => SipMethod::Ack,
+            "BYE" => SipMethod::Bye,
+            "OPTIONS" => SipMethod::Options,
+            "REGISTER" => SipMethod::Register,
+            _ => return None,
+        })
+    }
+}
+
+/// First line of a SIP message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StartLine {
+    /// `METHOD uri SIP/2.0`
+    Request {
+        /// Request method.
+        method: SipMethod,
+        /// Request URI.
+        uri: String,
+    },
+    /// `SIP/2.0 code reason`
+    Status {
+        /// Response code (e.g. 200).
+        code: u16,
+        /// Reason phrase (e.g. "OK").
+        reason: String,
+    },
+}
+
+/// Codec errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SipParseError {
+    /// Message is not valid UTF-8 / too short / missing CRLFCRLF.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SipParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SipParseError::Malformed(what) => write!(f, "malformed SIP message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SipParseError {}
+
+/// A SIP message: start line, ordered headers, optional body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SipMessage {
+    /// Request or status line.
+    pub start: StartLine,
+    /// Header fields in order (names case-preserved; lookup is
+    /// case-insensitive).
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl SipMessage {
+    /// Creates a request with no headers.
+    #[must_use]
+    pub fn request(method: SipMethod, uri: &str) -> Self {
+        Self {
+            start: StartLine::Request {
+                method,
+                uri: uri.to_owned(),
+            },
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Creates a response with no headers.
+    #[must_use]
+    pub fn response(code: u16, reason: &str) -> Self {
+        Self {
+            start: StartLine::Status {
+                code,
+                reason: reason.to_owned(),
+            },
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builds the standard response to `req`: status line plus the
+    /// dialog-identifying headers (Via, From, To, Call-ID, CSeq) copied
+    /// over, as RFC 3261 §8.2.6 requires.
+    #[must_use]
+    pub fn response_to(req: &SipMessage, code: u16, reason: &str) -> Self {
+        let mut resp = Self::response(code, reason);
+        for name in ["Via", "From", "To", "Call-ID", "CSeq"] {
+            if let Some(v) = req.header(name) {
+                resp.push_header(name, v);
+            }
+        }
+        resp
+    }
+
+    /// Appends a header.
+    pub fn push_header(&mut self, name: &str, value: &str) {
+        self.headers.push((name.to_owned(), value.to_owned()));
+    }
+
+    /// Builder-style [`push_header`](Self::push_header).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.push_header(name, value);
+        self
+    }
+
+    /// First value of `name` (case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request method, if this is a request.
+    #[must_use]
+    pub fn method(&self) -> Option<SipMethod> {
+        match &self.start {
+            StartLine::Request { method, .. } => Some(*method),
+            StartLine::Status { .. } => None,
+        }
+    }
+
+    /// The status code, if this is a response.
+    #[must_use]
+    pub fn status(&self) -> Option<u16> {
+        match &self.start {
+            StartLine::Status { code, .. } => Some(*code),
+            StartLine::Request { .. } => None,
+        }
+    }
+
+    /// The Call-ID header.
+    #[must_use]
+    pub fn call_id(&self) -> Option<&str> {
+        self.header("Call-ID")
+    }
+
+    /// Parses `CSeq: <seq> <METHOD>`.
+    #[must_use]
+    pub fn cseq(&self) -> Option<(u32, SipMethod)> {
+        let v = self.header("CSeq")?;
+        let mut parts = v.split_whitespace();
+        let seq = parts.next()?.parse().ok()?;
+        let method = SipMethod::parse(parts.next()?)?;
+        Some((seq, method))
+    }
+
+    /// Serializes to wire bytes (Content-Length appended automatically).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        match &self.start {
+            StartLine::Request { method, uri } => {
+                out.extend_from_slice(method.as_str().as_bytes());
+                out.push(b' ');
+                out.extend_from_slice(uri.as_bytes());
+                out.extend_from_slice(b" SIP/2.0\r\n");
+            }
+            StartLine::Status { code, reason } => {
+                out.extend_from_slice(format!("SIP/2.0 {code} {reason}\r\n").as_bytes());
+            }
+        }
+        for (n, v) in &self.headers {
+            if n.eq_ignore_ascii_case("Content-Length") {
+                continue; // always recomputed
+            }
+            out.extend_from_slice(n.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses one complete message from `raw`.
+    pub fn parse(raw: &[u8]) -> Result<Self, SipParseError> {
+        let (msg, used) = Self::parse_prefix(raw)?;
+        if used != raw.len() {
+            return Err(SipParseError::Malformed("trailing bytes"));
+        }
+        Ok(msg)
+    }
+
+    /// Parses one message from the front of `raw`, returning it and the
+    /// bytes consumed — the stream-transport framing entry point.
+    /// Returns `Malformed("incomplete")` when more bytes are needed.
+    pub fn parse_prefix(raw: &[u8]) -> Result<(Self, usize), SipParseError> {
+        let head_end = find_crlfcrlf(raw).ok_or(SipParseError::Malformed("incomplete"))?;
+        let head = std::str::from_utf8(&raw[..head_end])
+            .map_err(|_| SipParseError::Malformed("not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let start_line = lines.next().ok_or(SipParseError::Malformed("empty"))?;
+        let start = parse_start_line(start_line)?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(SipParseError::Malformed("header without colon"))?;
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("Content-Length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| SipParseError::Malformed("bad Content-Length"))?;
+            }
+            headers.push((name.to_owned(), value.to_owned()));
+        }
+        let body_start = head_end + 4;
+        let total = body_start + content_length;
+        if raw.len() < total {
+            return Err(SipParseError::Malformed("incomplete"));
+        }
+        Ok((
+            Self {
+                start,
+                headers,
+                body: raw[body_start..total].to_vec(),
+            },
+            total,
+        ))
+    }
+
+    /// True when `parse_prefix` failed only because more bytes are needed.
+    #[must_use]
+    pub fn is_incomplete(err: &SipParseError) -> bool {
+        matches!(err, SipParseError::Malformed("incomplete"))
+    }
+}
+
+fn find_crlfcrlf(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_start_line(line: &str) -> Result<StartLine, SipParseError> {
+    if let Some(rest) = line.strip_prefix("SIP/2.0 ") {
+        let (code, reason) = rest
+            .split_once(' ')
+            .ok_or(SipParseError::Malformed("bad status line"))?;
+        let code = code
+            .parse()
+            .map_err(|_| SipParseError::Malformed("bad status code"))?;
+        return Ok(StartLine::Status {
+            code,
+            reason: reason.to_owned(),
+        });
+    }
+    let mut parts = line.split(' ');
+    let method = parts
+        .next()
+        .and_then(SipMethod::parse)
+        .ok_or(SipParseError::Malformed("bad method"))?;
+    let uri = parts
+        .next()
+        .ok_or(SipParseError::Malformed("missing uri"))?;
+    if parts.next() != Some("SIP/2.0") {
+        return Err(SipParseError::Malformed("bad version"));
+    }
+    Ok(StartLine::Request {
+        method,
+        uri: uri.to_owned(),
+    })
+}
+
+/// Builds a SipStone-style INVITE.
+#[must_use]
+pub fn make_invite(call_id: &str, from: &str, to: &str, cseq: u32) -> SipMessage {
+    let mut m = SipMessage::request(SipMethod::Invite, &format!("sip:{to}"))
+        .with_header("Via", "SIP/2.0/UDP client.invalid;branch=z9hG4bK776asdhds")
+        .with_header("Max-Forwards", "70")
+        .with_header("From", &format!("<sip:{from}>;tag=1928301774"))
+        .with_header("To", &format!("<sip:{to}>"))
+        .with_header("Call-ID", call_id)
+        .with_header("CSeq", &format!("{cseq} INVITE"))
+        .with_header("Contact", &format!("<sip:{from}>"))
+        .with_header("Content-Type", "application/sdp");
+    m.body = "v=0\r\no=- 0 0 IN IP4 0.0.0.0\r\ns=call\r\nc=IN IP4 0.0.0.0\r\nt=0 0\r\nm=audio 49170 RTP/AVP 0\r\n".to_string().into_bytes();
+    m
+}
+
+/// Builds the ACK completing `call_id`'s INVITE transaction.
+#[must_use]
+pub fn make_ack(call_id: &str, from: &str, to: &str, cseq: u32) -> SipMessage {
+    SipMessage::request(SipMethod::Ack, &format!("sip:{to}"))
+        .with_header("Via", "SIP/2.0/UDP client.invalid;branch=z9hG4bK776asdhds")
+        .with_header("From", &format!("<sip:{from}>;tag=1928301774"))
+        .with_header("To", &format!("<sip:{to}>;tag=a6c85cf"))
+        .with_header("Call-ID", call_id)
+        .with_header("CSeq", &format!("{cseq} ACK"))
+}
+
+/// Builds the BYE tearing down `call_id`.
+#[must_use]
+pub fn make_bye(call_id: &str, from: &str, to: &str, cseq: u32) -> SipMessage {
+    SipMessage::request(SipMethod::Bye, &format!("sip:{to}"))
+        .with_header("Via", "SIP/2.0/UDP client.invalid;branch=z9hG4bK776asdhdt")
+        .with_header("From", &format!("<sip:{from}>;tag=1928301774"))
+        .with_header("To", &format!("<sip:{to}>;tag=a6c85cf"))
+        .with_header("Call-ID", call_id)
+        .with_header("CSeq", &format!("{cseq} BYE"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invite_roundtrip() {
+        let m = make_invite("call-1@host", "alice@a.example", "bob@b.example", 1);
+        let enc = m.encode();
+        let parsed = SipMessage::parse(&enc).unwrap();
+        assert_eq!(parsed.method(), Some(SipMethod::Invite));
+        assert_eq!(parsed.call_id(), Some("call-1@host"));
+        assert_eq!(parsed.cseq(), Some((1, SipMethod::Invite)));
+        assert!(!parsed.body.is_empty());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let req = make_invite("c2", "a", "b", 3);
+        let resp = SipMessage::response_to(&req, 200, "OK");
+        let parsed = SipMessage::parse(&resp.encode()).unwrap();
+        assert_eq!(parsed.status(), Some(200));
+        assert_eq!(parsed.call_id(), Some("c2"));
+        assert_eq!(parsed.cseq(), Some((3, SipMethod::Invite)));
+        assert!(parsed.header("Via").is_some());
+    }
+
+    #[test]
+    fn header_lookup_case_insensitive() {
+        let m = SipMessage::request(SipMethod::Options, "sip:x").with_header("X-Test", "yes");
+        assert_eq!(m.header("x-test"), Some("yes"));
+        assert_eq!(m.header("X-TEST"), Some("yes"));
+        assert_eq!(m.header("missing"), None);
+    }
+
+    #[test]
+    fn content_length_recomputed() {
+        let mut m = SipMessage::request(SipMethod::Invite, "sip:x");
+        m.push_header("Content-Length", "999"); // lies
+        m.body = b"12345".to_vec();
+        let enc = String::from_utf8(m.encode()).unwrap();
+        assert!(enc.contains("Content-Length: 5\r\n"));
+        assert!(!enc.contains("999"));
+    }
+
+    #[test]
+    fn parse_prefix_handles_pipelined_messages() {
+        let a = make_ack("c1", "a", "b", 1).encode();
+        let bye = make_bye("c1", "a", "b", 2).encode();
+        let mut stream = a.clone();
+        stream.extend_from_slice(&bye);
+        let (m1, used1) = SipMessage::parse_prefix(&stream).unwrap();
+        assert_eq!(m1.method(), Some(SipMethod::Ack));
+        assert_eq!(used1, a.len());
+        let (m2, used2) = SipMessage::parse_prefix(&stream[used1..]).unwrap();
+        assert_eq!(m2.method(), Some(SipMethod::Bye));
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn incomplete_is_detected() {
+        let enc = make_invite("c", "a", "b", 1).encode();
+        for cut in [0, 10, enc.len() - 1] {
+            let err = SipMessage::parse_prefix(&enc[..cut]).unwrap_err();
+            assert!(SipMessage::is_incomplete(&err), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(SipMessage::parse(b"NOTSIP x y\r\n\r\n").is_err());
+        assert!(SipMessage::parse(b"INVITE sip:x HTTP/1.1\r\n\r\n").is_err());
+        assert!(SipMessage::parse(b"SIP/2.0 abc OK\r\n\r\n").is_err());
+        // Valid but with trailing junk.
+        let mut enc = make_ack("c", "a", "b", 1).encode();
+        enc.push(b'!');
+        assert!(SipMessage::parse(&enc).is_err());
+    }
+
+    #[test]
+    fn methods_roundtrip() {
+        for m in [
+            SipMethod::Invite,
+            SipMethod::Ack,
+            SipMethod::Bye,
+            SipMethod::Options,
+            SipMethod::Register,
+        ] {
+            assert_eq!(SipMethod::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(SipMethod::parse("SUBSCRIBE"), None);
+    }
+}

@@ -1,0 +1,15 @@
+//! SIP workload (the paper's SIPp experiments, §VI.B.2).
+//!
+//! A minimal-but-real SIP implementation: a text codec for the message
+//! grammar subset SIPp's SipStone scenario uses ([`codec`]), a UAS server
+//! handling INVITE/ACK/BYE transactions over UD or RC sockets
+//! ([`server`]), and a SipStone-style load generator measuring response
+//! times and instrumented memory at N concurrent calls ([`load`]).
+
+pub mod codec;
+pub mod load;
+pub mod server;
+
+pub use codec::{SipMessage, SipMethod, StartLine};
+pub use load::{run_sip_load, SipLoadConfig, SipLoadReport};
+pub use server::{SipServer, SipServerConfig, SipTransport};

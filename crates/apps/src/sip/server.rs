@@ -1,0 +1,353 @@
+//! SIP UAS: the server side of the SipStone scenario.
+//!
+//! Handles the INVITE → 200 OK → ACK → … → BYE → 200 OK transaction flow
+//! over either transport:
+//!
+//! * **UD**: a main datagram socket receives INVITEs; per the paper's
+//!   setup ("one socket per client"), each call gets a dedicated datagram
+//!   socket and the 200 OK is sent from it, so in-dialog requests arrive
+//!   there (the SIP-over-UDP analog of a media-port allocation).
+//! * **RC**: a stream listener accepts one connection per client; SIP
+//!   messages are framed out of the byte stream by Content-Length.
+//!
+//! Every call tracks `call_state_bytes` of application bookkeeping in the
+//! `sip_call` memory category — the "additional book keeping to keep track
+//! of the states of the calls" the paper identifies as the gap between its
+//! theoretical 28.1 % and measured 24.1 % memory savings.
+//!
+//! The server is a single-threaded event loop over poll-mode sockets, so
+//! thousands of concurrent calls cost memory (the thing Fig. 11 measures),
+//! not threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use iwarp::IwarpResult;
+use iwarp_common::memacct::MemScope;
+use iwarp_socket::{DgramSocket, SocketStack, StreamSocket};
+use simnet::Addr;
+
+use super::codec::{SipMessage, SipMethod};
+
+/// Which transport the server speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SipTransport {
+    /// Datagram-iWARP (UD QPs) — connectionless.
+    Ud,
+    /// Connected iWARP (RC QPs over the TCP-like stream).
+    Rc,
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct SipServerConfig {
+    /// Transport to serve.
+    pub transport: SipTransport,
+    /// Port of the main socket / listener.
+    pub port: u16,
+    /// Application bookkeeping bytes per active call (tracked in the
+    /// `sip_call` category; identical for both transports).
+    pub call_state_bytes: u64,
+}
+
+impl Default for SipServerConfig {
+    fn default() -> Self {
+        Self {
+            transport: SipTransport::Ud,
+            port: 5060,
+            call_state_bytes: 1024,
+        }
+    }
+}
+
+/// Live counters shared with the controlling thread.
+#[derive(Debug, Default)]
+pub struct SipServerStats {
+    /// Currently established (or establishing) calls.
+    pub active_calls: AtomicU64,
+    /// INVITEs answered.
+    pub invites: AtomicU64,
+    /// ACKs seen (dialogs confirmed).
+    pub acks: AtomicU64,
+    /// BYEs answered.
+    pub byes: AtomicU64,
+    /// Messages that failed to parse.
+    pub parse_errors: AtomicU64,
+}
+
+struct Shared {
+    stats: SipServerStats,
+    shutdown: AtomicBool,
+}
+
+/// Handle to a running SIP server; dropping it stops the event loop.
+pub struct SipServer {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<IwarpResult<()>>>,
+}
+
+impl SipServer {
+    /// Spawns the server event loop on `stack`.
+    pub fn spawn(stack: SocketStack, cfg: SipServerConfig) -> IwarpResult<Self> {
+        let shared = Arc::new(Shared {
+            stats: SipServerStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let shared2 = Arc::clone(&shared);
+        // Bind inside the caller's context so failures surface here.
+        let thread = match cfg.transport {
+            SipTransport::Ud => {
+                let main = stack.dgram_bound(cfg.port)?;
+                std::thread::Builder::new()
+                    .name("sip-uas-ud".into())
+                    .spawn(move || ud_event_loop(&stack, main, &cfg, &shared2))
+                    .expect("spawn SIP server")
+            }
+            SipTransport::Rc => {
+                let listener = stack.listen(cfg.port)?;
+                std::thread::Builder::new()
+                    .name("sip-uas-rc".into())
+                    .spawn(move || rc_event_loop(&stack, &listener, &cfg, &shared2))
+                    .expect("spawn SIP server")
+            }
+        };
+        Ok(Self {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// Live counters.
+    #[must_use]
+    pub fn stats(&self) -> &SipServerStats {
+        &self.shared.stats
+    }
+
+    /// Stops the event loop and returns its final result.
+    pub fn stop(mut self) -> IwarpResult<()> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        match self.thread.take() {
+            Some(t) => t.join().expect("SIP server thread"),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for SipServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One UD call: its dedicated socket plus tracked application state.
+struct UdCall {
+    sock: DgramSocket,
+    _state: Option<MemScope>,
+}
+
+fn ud_event_loop(
+    stack: &SocketStack,
+    main: DgramSocket,
+    cfg: &SipServerConfig,
+    shared: &Shared,
+) -> IwarpResult<()> {
+    let mut calls: HashMap<String, UdCall> = HashMap::new();
+    let mut buf = vec![0u8; 8 * 1024];
+    let mut passes_since_scan = 0u32;
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        // New transactions arrive on the main socket.
+        let mut main_idle = false;
+        match main.recv_from(&mut buf, Duration::from_millis(1)) {
+            Ok((n, src)) => {
+                if let Ok(msg) = SipMessage::parse(&buf[..n]) {
+                    handle_ud_message(stack, cfg, shared, &mut calls, &main, &msg, src)?;
+                } else {
+                    shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(iwarp::IwarpError::PollTimeout) => main_idle = true,
+            Err(e) => return Err(e),
+        }
+        // In-dialog requests arrive on per-call sockets. Scanning all of
+        // them is O(active calls); do it when the main socket goes idle
+        // (in-dialog traffic is then the likely pending work) or
+        // periodically during setup storms, so call establishment stays
+        // O(n) overall rather than O(n²).
+        passes_since_scan += 1;
+        if !main_idle && passes_since_scan < 64 {
+            continue;
+        }
+        passes_since_scan = 0;
+        let mut finished = Vec::new();
+        for (call_id, call) in &mut calls {
+            while let Some((n, src)) = call.sock.try_recv_from(&mut buf)? {
+                let Ok(msg) = SipMessage::parse(&buf[..n]) else {
+                    shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                match msg.method() {
+                    Some(SipMethod::Ack) => {
+                        shared.stats.acks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(SipMethod::Bye) => {
+                        let ok = SipMessage::response_to(&msg, 200, "OK");
+                        call.sock.send_to(&ok.encode(), src)?;
+                        shared.stats.byes.fetch_add(1, Ordering::Relaxed);
+                        finished.push(call_id.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for call_id in finished {
+            calls.remove(&call_id);
+            shared.stats.active_calls.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    Ok(())
+}
+
+fn handle_ud_message(
+    stack: &SocketStack,
+    cfg: &SipServerConfig,
+    shared: &Shared,
+    calls: &mut HashMap<String, UdCall>,
+    main: &DgramSocket,
+    msg: &SipMessage,
+    src: Addr,
+) -> IwarpResult<()> {
+    match msg.method() {
+        Some(SipMethod::Invite) => {
+            let Some(call_id) = msg.call_id() else {
+                shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            };
+            if calls.contains_key(call_id) {
+                return Ok(()); // retransmitted INVITE; 200 OK was sent
+            }
+            // Paper setup: one server socket per client/call. The 200 OK
+            // is sent *from* the call socket so in-dialog requests land
+            // there.
+            let call_sock = stack.dgram()?;
+            let ok = SipMessage::response_to(msg, 200, "OK")
+                .with_header("Contact", &format!("<sip:{}>", call_sock.local_addr()));
+            call_sock.send_to(&ok.encode(), src)?;
+            let state = stack
+                .device()
+                .mem()
+                .map(|r| r.track("sip_call", cfg.call_state_bytes));
+            calls.insert(
+                call_id.to_owned(),
+                UdCall {
+                    sock: call_sock,
+                    _state: state,
+                },
+            );
+            shared.stats.invites.fetch_add(1, Ordering::Relaxed);
+            shared.stats.active_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(SipMethod::Options) => {
+            let ok = SipMessage::response_to(msg, 200, "OK");
+            main.send_to(&ok.encode(), src)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// One RC call: the accepted connection, a reassembly buffer for the byte
+/// stream, and tracked application state.
+struct RcCall {
+    sock: StreamSocket,
+    rxbuf: Vec<u8>,
+    done: bool,
+    _state: Option<MemScope>,
+}
+
+fn rc_event_loop(
+    stack: &SocketStack,
+    listener: &iwarp_socket::StreamListener,
+    cfg: &SipServerConfig,
+    shared: &Shared,
+) -> IwarpResult<()> {
+    let mut calls: Vec<RcCall> = Vec::new();
+    let mut buf = vec![0u8; 8 * 1024];
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        // Accept new connections (short timeout keeps the loop live).
+        if let Ok(sock) = listener.accept(Duration::from_millis(1)) {
+            let state = stack
+                .device()
+                .mem()
+                .map(|r| r.track("sip_call", cfg.call_state_bytes));
+            calls.push(RcCall {
+                sock,
+                rxbuf: Vec::new(),
+                done: false,
+                _state: state,
+            });
+            shared.stats.active_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        // Serve established connections.
+        for call in &mut calls {
+            if call.done {
+                continue;
+            }
+            loop {
+                match call.sock.try_recv(&mut buf) {
+                    Ok(Some(n)) => call.rxbuf.extend_from_slice(&buf[..n]),
+                    Ok(None) => break,
+                    Err(_) => {
+                        call.done = true; // peer went away
+                        break;
+                    }
+                }
+            }
+            // Frame and handle complete messages.
+            loop {
+                match SipMessage::parse_prefix(&call.rxbuf) {
+                    Ok((msg, used)) => {
+                        call.rxbuf.drain(..used);
+                        match msg.method() {
+                            Some(SipMethod::Invite) => {
+                                let ok = SipMessage::response_to(&msg, 200, "OK");
+                                let _ = call.sock.send(&ok.encode());
+                                shared.stats.invites.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(SipMethod::Ack) => {
+                                shared.stats.acks.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(SipMethod::Bye) => {
+                                let ok = SipMessage::response_to(&msg, 200, "OK");
+                                let _ = call.sock.send(&ok.encode());
+                                shared.stats.byes.fetch_add(1, Ordering::Relaxed);
+                                call.done = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    Err(e) if SipMessage::is_incomplete(&e) => break,
+                    Err(_) => {
+                        shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        call.rxbuf.clear();
+                        break;
+                    }
+                }
+            }
+        }
+        let before = calls.len();
+        calls.retain(|c| !c.done);
+        let removed = before - calls.len();
+        if removed > 0 {
+            shared
+                .stats
+                .active_calls
+                .fetch_sub(removed as u64, Ordering::Relaxed);
+        }
+    }
+    Ok(())
+}

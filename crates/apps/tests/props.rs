@@ -1,0 +1,128 @@
+//! Property-based tests for the SIP codec.
+
+use proptest::prelude::*;
+
+use iwarp_apps::sip::codec::{SipMessage, SipMethod, StartLine};
+
+fn arb_method() -> impl Strategy<Value = SipMethod> {
+    prop_oneof![
+        Just(SipMethod::Invite),
+        Just(SipMethod::Ack),
+        Just(SipMethod::Bye),
+        Just(SipMethod::Options),
+        Just(SipMethod::Register),
+    ]
+}
+
+/// Header-safe tokens: no CR/LF/colon, non-empty, no surrounding space.
+fn token() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9@._-]{1,24}"
+}
+
+prop_compose! {
+    fn arb_message()(is_request in any::<bool>(),
+                     method in arb_method(),
+                     uri in token(),
+                     code in 100u16..700,
+                     reason in "[A-Za-z ]{1,16}",
+                     headers in proptest::collection::vec((token(), token()), 0..8),
+                     body in proptest::collection::vec(any::<u8>(), 0..256)) -> SipMessage {
+        let mut msg = if is_request {
+            SipMessage::request(method, &format!("sip:{uri}"))
+        } else {
+            SipMessage::response(code, reason.trim())
+        };
+        for (n, v) in headers {
+            msg.push_header(&n, &v);
+        }
+        msg.body = body;
+        msg
+    }
+}
+
+proptest! {
+    /// Every generated message encodes and re-parses identically
+    /// (modulo the recomputed Content-Length header).
+    #[test]
+    fn encode_parse_roundtrip(msg in arb_message()) {
+        let enc = msg.encode();
+        let parsed = SipMessage::parse(&enc).unwrap();
+        prop_assert_eq!(&parsed.start, &msg.start);
+        prop_assert_eq!(&parsed.body, &msg.body);
+        // The full ordered header list survives (Content-Length is
+        // recomputed/appended by the encoder, so exclude it on both sides;
+        // duplicate header names must be preserved in order).
+        let strip = |hs: &[(String, String)]| -> Vec<(String, String)> {
+            hs.iter()
+                .filter(|(n, _)| !n.eq_ignore_ascii_case("Content-Length"))
+                .cloned()
+                .collect()
+        };
+        prop_assert_eq!(strip(&parsed.headers), strip(&msg.headers));
+    }
+
+    /// Pipelined messages are framed correctly from a byte stream at any
+    /// chunk boundary — the RC transport case.
+    #[test]
+    fn stream_framing_at_any_boundary(msgs in proptest::collection::vec(arb_message(), 1..4),
+                                      cut in any::<usize>()) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&m.encode());
+        }
+        // Feed in two pieces split at an arbitrary point; the parser must
+        // report "incomplete" rather than mis-framing.
+        let cut = cut % (stream.len() + 1);
+        let mut buf = stream[..cut].to_vec();
+        let mut parsed = Vec::new();
+        loop {
+            match SipMessage::parse_prefix(&buf) {
+                Ok((m, used)) => {
+                    buf.drain(..used);
+                    parsed.push(m);
+                }
+                Err(e) if SipMessage::is_incomplete(&e) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("mis-framed: {e}"))),
+            }
+        }
+        buf.extend_from_slice(&stream[cut..]);
+        loop {
+            match SipMessage::parse_prefix(&buf) {
+                Ok((m, used)) => {
+                    buf.drain(..used);
+                    parsed.push(m);
+                }
+                Err(e) if SipMessage::is_incomplete(&e) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("mis-framed: {e}"))),
+            }
+        }
+        prop_assert!(buf.is_empty());
+        prop_assert_eq!(parsed.len(), msgs.len());
+        for (got, want) in parsed.iter().zip(&msgs) {
+            prop_assert_eq!(&got.start, &want.start);
+            prop_assert_eq!(&got.body, &want.body);
+        }
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = SipMessage::parse(&junk);
+        let _ = SipMessage::parse_prefix(&junk);
+    }
+
+    /// Status lines preserve their code; request lines their method.
+    #[test]
+    fn start_line_fields(msg in arb_message()) {
+        let parsed = SipMessage::parse(&msg.encode()).unwrap();
+        match (&msg.start, &parsed.start) {
+            (StartLine::Request { method: a, .. }, StartLine::Request { method: b, .. }) => {
+                prop_assert_eq!(a, b);
+            }
+            (StartLine::Status { code: a, .. }, StartLine::Status { code: b, .. }) => {
+                prop_assert_eq!(a, b);
+            }
+            _ => prop_assert!(false, "start line kind changed"),
+        }
+    }
+}

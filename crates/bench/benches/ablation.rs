@@ -1,0 +1,136 @@
+//! Ablation benchmarks for the design costs the paper calls out:
+//!
+//! * CRC32 — mandatory on every datagram-iWARP segment;
+//! * MPA marker insertion/removal — the per-byte cost datagram mode
+//!   deletes ("a high overhead activity", §IV.A);
+//! * DDP segmentation — header encode + CRC per segment;
+//! * validity-map maintenance — the Write-Record bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iwarp::hdr::{encode_untagged, RdmapOpcode, UntaggedHdr};
+use iwarp::mpa::{MpaConfig, MpaRx, MpaTx};
+use iwarp_common::crc32::crc32c;
+use iwarp_common::validity::ValidityMap;
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_crc32c");
+    for size in [1500usize, 64 * 1024] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| crc32c(data));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mpa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mpa");
+    // MULPDU is bounded by the stream MSS in practice; use a large-but-
+    // legal ULPDU (the FPDU length field is 16-bit).
+    let payload = vec![0x5Au8; 32 * 1024];
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for (label, markers, crc) in [
+        ("markers+crc", true, true),
+        ("crc_only", false, true),
+        ("framing_only", false, false),
+    ] {
+        let cfg = MpaConfig { markers, crc };
+        g.bench_function(format!("frame_{label}"), |b| {
+            b.iter_batched(
+                || MpaTx::new(cfg),
+                |mut tx| tx.frame(&payload),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_function(format!("roundtrip_{label}"), |b| {
+            b.iter_batched(
+                || (MpaTx::new(cfg), MpaRx::new(cfg)),
+                |(mut tx, mut rx)| {
+                    let framed = tx.frame(&payload);
+                    let mut out = Vec::new();
+                    rx.feed(&framed, &mut out).expect("mpa roundtrip");
+                    out
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ddp_segment");
+    let msg = vec![0x11u8; 64 * 1024];
+    let seg = 1448usize;
+    g.throughput(Throughput::Bytes(msg.len() as u64));
+    for (label, with_crc) in [("with_crc", true), ("without_crc", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut out = 0usize;
+                let mut mo = 0usize;
+                let mut msn = 0u32;
+                while mo < msg.len() {
+                    let end = (mo + seg).min(msg.len());
+                    let hdr = UntaggedHdr {
+                        opcode: RdmapOpcode::Send,
+                        last: end == msg.len(),
+                        solicited: false,
+                        qn: 0,
+                        msn,
+                        mo: mo as u32,
+                        total_len: msg.len() as u32,
+                        src_qpn: 1,
+                        msg_id: 7,
+                    };
+                    out += encode_untagged(&hdr, &msg[mo..end], with_crc).len();
+                    mo = end;
+                    msn += 1;
+                }
+                out
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_validity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_validity_map");
+    g.bench_function("record_in_order_44_frags", |b| {
+        b.iter(|| {
+            let mut m = ValidityMap::new();
+            for i in 0..44u64 {
+                m.record(i * 1448, 1448);
+            }
+            m.valid_bytes()
+        });
+    });
+    g.bench_function("record_reverse_44_frags", |b| {
+        b.iter(|| {
+            let mut m = ValidityMap::new();
+            for i in (0..44u64).rev() {
+                m.record(i * 1448, 1448);
+            }
+            m.valid_bytes()
+        });
+    });
+    g.bench_function("record_with_gaps", |b| {
+        b.iter(|| {
+            let mut m = ValidityMap::new();
+            for i in (0..88u64).step_by(2) {
+                m.record(i * 1448, 1448);
+            }
+            m.gaps(88 * 1448).len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_mpa,
+    bench_segmentation,
+    bench_validity
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion benchmarks for the application figures (9 and 10): one
+//! streaming session per transport and one SIP call per transport.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iwarp_apps::media::{run_http_session, run_udp_session, MediaConfig};
+use iwarp_apps::sip::{run_sip_load, SipLoadConfig, SipServer, SipServerConfig, SipTransport};
+use iwarp_socket::{SocketConfig, SocketStack};
+use simnet::{Addr, Fabric, NodeId};
+
+fn media_cfg() -> MediaConfig {
+    MediaConfig {
+        chunk_size: 1316,
+        total_bytes: 512 * 1024,
+        bitrate_bps: 0,
+        prebuffer_bytes: 128 * 1024,
+        idle_timeout: Duration::from_millis(300),
+    }
+}
+
+fn sock_cfg() -> SocketConfig {
+    SocketConfig {
+        recv_slots: 256,
+        slot_size: 2048,
+        ..SocketConfig::default()
+    }
+}
+
+fn bench_media(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_media");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("udp_session", |b| {
+        b.iter(|| {
+            let fab = Fabric::loopback();
+            let sa = SocketStack::with_config(&fab, NodeId(0), Default::default(), sock_cfg());
+            let sb = SocketStack::with_config(&fab, NodeId(1), Default::default(), sock_cfg());
+            run_udp_session(&sa, &sb, &media_cfg()).expect("session")
+        });
+    });
+    g.bench_function("http_session", |b| {
+        b.iter(|| {
+            let fab = Fabric::loopback();
+            let sa = SocketStack::with_config(&fab, NodeId(0), Default::default(), sock_cfg());
+            let sb = SocketStack::with_config(&fab, NodeId(1), Default::default(), sock_cfg());
+            run_http_session(&sa, &sb, 8080, &media_cfg()).expect("session")
+        });
+    });
+    g.finish();
+}
+
+fn bench_sip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_sip");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, transport, port) in [
+        ("ud_calls", SipTransport::Ud, 5080u16),
+        ("rc_calls", SipTransport::Rc, 5081),
+    ] {
+        g.bench_function(label, |b| {
+            let fab = Fabric::loopback();
+            let poll = SocketConfig {
+                recv_slots: 8,
+                slot_size: 2048,
+                qp: iwarp::QpConfig {
+                    poll_mode: true,
+                    ..iwarp::QpConfig::default()
+                },
+                ..SocketConfig::default()
+            };
+            let stream = simnet::stream::StreamConfig {
+                poll_mode: true,
+                ..simnet::stream::StreamConfig::default()
+            };
+            let server_stack = SocketStack::with_config(
+                &fab,
+                NodeId(1),
+                iwarp::DeviceConfig {
+                    stream: stream.clone(),
+                    ..iwarp::DeviceConfig::default()
+                },
+                poll.clone(),
+            );
+            let client_stack = SocketStack::with_config(
+                &fab,
+                NodeId(0),
+                iwarp::DeviceConfig {
+                    stream,
+                    ..iwarp::DeviceConfig::default()
+                },
+                poll,
+            );
+            let server = SipServer::spawn(
+                server_stack,
+                SipServerConfig {
+                    transport,
+                    port,
+                    call_state_bytes: 1024,
+                },
+            )
+            .expect("server");
+            b.iter(|| {
+                run_sip_load(
+                    &client_stack,
+                    &SipLoadConfig {
+                        calls: 5,
+                        transport,
+                        server_addr: Addr::new(1, port),
+                        timeout: Duration::from_secs(10),
+                        call_state_bytes: 1024,
+                    },
+                )
+                .expect("load")
+            });
+            drop(server);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_media, bench_sip);
+criterion_main!(benches);

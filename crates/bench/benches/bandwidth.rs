@@ -1,0 +1,26 @@
+//! Criterion micro-benchmarks for Fig. 6: unidirectional bandwidth.
+//!
+//! Reports bytes/second throughput per method at a mid-size message; the
+//! full size sweep lives in the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iwarp_bench::{bandwidth, FabricKind, Method};
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_bandwidth");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let size = 64 * 1024;
+    let n = 32;
+    g.throughput(Throughput::Bytes((size * n) as u64));
+    for method in Method::FIG56 {
+        g.bench_with_input(BenchmarkId::new(method.label(), size), &size, |b, &size| {
+            b.iter(|| bandwidth(FabricKind::Fast, method, size, n));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

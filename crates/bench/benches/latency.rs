@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks for Fig. 5: ping-pong latency per method.
+//!
+//! These sample representative points of the figure's grid; the full sweep
+//! lives in the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwarp_bench::{latency, FabricKind, Method};
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_latency");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for method in Method::FIG56 {
+        for size in [4usize, 1024, 16 * 1024] {
+            g.bench_with_input(
+                BenchmarkId::new(method.label(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| latency(FabricKind::Fast, method, size, 1, 4));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks for Figs. 7/8: datagram goodput under loss.
+//!
+//! Compares send/recv against Write-Record at one lossy operating point;
+//! the full rate × size sweeps live in the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwarp_bench::{bandwidth, FabricKind, Method};
+
+fn bench_loss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig78_loss");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let size = 256 * 1024;
+    for (label, method) in [
+        ("fig7_ud_sendrecv", Method::UdSendRecv),
+        ("fig8_ud_write_record", Method::UdWriteRecord),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, "1pct_loss"), &size, |b, &size| {
+            b.iter(|| bandwidth(FabricKind::FastLoss(0.01), method, size, 16));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_loss);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Notification-mechanism ablation (the paper's Fig. 3 / §IV.B.3
+//! discussion, as numbers): how long until the *target application* knows
+//! one-sided data is valid, under four schemes:
+//!
+//! * RC RDMA Write + separate send/recv notification (the standard's way);
+//! * RC RDMA Write with Immediate (InfiniBand-style; consumes a receive);
+//! * UD RDMA Write with Immediate;
+//! * UD RDMA Write-Record (the paper's: no receive, no second operation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iwarp::wr::RecvWr;
+use iwarp::{Access, Cq, Device, QpConfig};
+use simnet::{Addr, Fabric, NodeId};
+
+const TO: Duration = Duration::from_secs(10);
+const SIZE: usize = 4096;
+
+fn bench_notify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_notification");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // --- UD Write-Record: one posted op, unsolicited target completion.
+    g.bench_function("ud_write_record", |b| {
+        let fab = Fabric::loopback();
+        let dev_a = Device::new(&fab, NodeId(0));
+        let dev_b = Device::new(&fab, NodeId(1));
+        let (a_s, a_r) = (Cq::new(64), Cq::new(64));
+        let (b_s, b_r) = (Cq::new(64), Cq::new(64));
+        let qa = dev_a.create_ud_qp(None, &a_s, &a_r, QpConfig::default()).unwrap();
+        let qb = dev_b.create_ud_qp(None, &b_s, &b_r, QpConfig::default()).unwrap();
+        let sink = dev_b.register(SIZE, Access::RemoteWrite);
+        let data = vec![7u8; SIZE];
+        b.iter(|| {
+            qa.post_write_record(0, data.clone(), qb.dest(), sink.stag(), 0).unwrap();
+            while qa.send_cq().poll().is_some() {}
+            b_r.poll_timeout(TO).unwrap()
+        });
+    });
+
+    // --- UD Write with Immediate: consumes a posted receive.
+    g.bench_function("ud_write_imm", |b| {
+        let fab = Fabric::loopback();
+        let dev_a = Device::new(&fab, NodeId(0));
+        let dev_b = Device::new(&fab, NodeId(1));
+        let (a_s, a_r) = (Cq::new(64), Cq::new(64));
+        let (b_s, b_r) = (Cq::new(64), Cq::new(64));
+        let qa = dev_a.create_ud_qp(None, &a_s, &a_r, QpConfig::default()).unwrap();
+        let qb = dev_b.create_ud_qp(None, &b_s, &b_r, QpConfig::default()).unwrap();
+        let sink = dev_b.register(SIZE, Access::RemoteWrite);
+        let notify_sink = dev_b.register(16, Access::Local);
+        let data = vec![7u8; SIZE];
+        b.iter(|| {
+            qb.post_recv(RecvWr::whole(1, &notify_sink)).unwrap();
+            qa.post_write_imm(0, data.clone(), qb.dest(), sink.stag(), 0, 9).unwrap();
+            while qa.send_cq().poll().is_some() {}
+            b_r.poll_timeout(TO).unwrap()
+        });
+    });
+
+    // --- RC Write + send notification (two operations).
+    g.bench_function("rc_write_plus_send", |b| {
+        let fab = Fabric::loopback();
+        let dev_a = Device::new(&fab, NodeId(0));
+        let dev_b = Device::new(&fab, NodeId(1));
+        let (a_s, a_r) = (Cq::new(64), Cq::new(64));
+        let (b_s, b_r) = (Cq::new(64), Cq::new(64));
+        let listener = dev_b.rc_listen(4950).unwrap();
+        let (qa, _qb) = std::thread::scope(|s| {
+            let srv = s.spawn(|| listener.accept(TO, &b_s, &b_r, QpConfig::default()).unwrap());
+            let qa = dev_a
+                .rc_connect(Addr::new(1, 4950), &a_s, &a_r, QpConfig::default())
+                .unwrap();
+            (qa, srv.join().unwrap())
+        });
+        let sink = dev_b.register(SIZE, Access::RemoteWrite);
+        let notify_sink = dev_b.register(16, Access::Local);
+        let data = vec![7u8; SIZE];
+        b.iter(|| {
+            _qb.post_recv(RecvWr::whole(1, &notify_sink)).unwrap();
+            qa.post_rdma_write(0, data.clone(), sink.stag(), 0).unwrap();
+            qa.post_send(0, &b"!"[..]).unwrap();
+            while qa.send_cq().poll().is_some() {}
+            b_r.poll_timeout(TO).unwrap()
+        });
+    });
+
+    // --- RC Write with Immediate (one operation, still needs a receive).
+    g.bench_function("rc_write_imm", |b| {
+        let fab = Fabric::loopback();
+        let dev_a = Device::new(&fab, NodeId(0));
+        let dev_b = Device::new(&fab, NodeId(1));
+        let (a_s, a_r) = (Cq::new(64), Cq::new(64));
+        let (b_s, b_r) = (Cq::new(64), Cq::new(64));
+        let listener = dev_b.rc_listen(4951).unwrap();
+        let (qa, _qb) = std::thread::scope(|s| {
+            let srv = s.spawn(|| listener.accept(TO, &b_s, &b_r, QpConfig::default()).unwrap());
+            let qa = dev_a
+                .rc_connect(Addr::new(1, 4951), &a_s, &a_r, QpConfig::default())
+                .unwrap();
+            (qa, srv.join().unwrap())
+        });
+        let sink = dev_b.register(SIZE, Access::RemoteWrite);
+        let notify_sink = dev_b.register(16, Access::Local);
+        let data = vec![7u8; SIZE];
+        b.iter(|| {
+            _qb.post_recv(RecvWr::whole(1, &notify_sink)).unwrap();
+            qa.post_write_imm(0, data.clone(), sink.stag(), 0, 9).unwrap();
+            while qa.send_cq().poll().is_some() {}
+            b_r.poll_timeout(TO).unwrap()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_notify);
+criterion_main!(benches);

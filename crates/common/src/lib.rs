@@ -1,0 +1,26 @@
+//! Shared utilities for the datagram-iWARP workspace.
+//!
+//! This crate hosts the small, dependency-light building blocks that every
+//! other crate in the workspace leans on:
+//!
+//! * [`crc32`] — a from-scratch CRC32C (Castagnoli) implementation.
+//!   Datagram-iWARP *mandates* CRC32 on every message (paper §IV.B item 6),
+//!   and the DDP layer uses it to validate individual datagrams.
+//! * [`validity`] — the interval-set "validity map" used by RDMA
+//!   Write-Record to record which byte ranges of a tagged buffer hold valid
+//!   data after (possibly partial) placement.
+//! * [`memacct`] — instrumented memory accounting. The SIP memory-scaling
+//!   experiment (paper Fig. 11) compares whole-stack per-client state; every
+//!   connection, QP and conduit reports its footprint here.
+//! * [`rng`] — seeded deterministic RNG construction so loss injection and
+//!   workloads are reproducible.
+//! * [`stats`] — tiny summary-statistics helpers shared by the benchmark
+//!   harness and application measurements.
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod memacct;
+pub mod rng;
+pub mod stats;
+pub mod validity;

@@ -1,0 +1,314 @@
+//! Completion queues.
+//!
+//! Every verbs operation reports through a [`Cq`]. Datagram-iWARP adds two
+//! requirements over the connected standard (paper §IV.B):
+//!
+//! * polling must support a **timeout** — a lost datagram means an awaited
+//!   completion may never materialize ("it is essential that the completion
+//!   queue be polled with a defined timeout period", §IV.B.1);
+//! * completion entries are **extended with the source address and port**
+//!   of incoming data, since a UD QP has no single peer.
+//!
+//! Write-Record target completions additionally carry a
+//! [`WriteRecordInfo`] describing which sink bytes are valid.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use simnet::Addr;
+
+use crate::error::{IwarpError, IwarpResult};
+use crate::wr_record::WriteRecordInfo;
+
+/// What kind of operation a completion describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeOpcode {
+    /// A posted send finished (handed to the LLP).
+    Send,
+    /// A posted receive was consumed by an incoming send.
+    Recv,
+    /// A source-side RDMA Write (or Write-Record) finished.
+    RdmaWrite,
+    /// A target-side RDMA Write-Record completion — no posted WR consumed;
+    /// this is the paper's one-sided notification mechanism.
+    WriteRecord,
+    /// An RDMA Read completed at the requester.
+    RdmaRead,
+}
+
+/// Completion status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeStatus {
+    /// The operation completed in full.
+    Success,
+    /// A Write-Record message completed with gaps: some segments were lost
+    /// but the final segment arrived, so the valid ranges are declared via
+    /// the validity map (partial placement, paper §IV.B.4).
+    Partial,
+    /// A posted receive expired: the message it was matched to never
+    /// completed (datagram loss) and the buffer was recovered
+    /// ("detect failed operations and recover buffers", paper Fig. 2).
+    Expired,
+    /// The incoming message did not fit the posted buffer.
+    RecvTooSmall,
+    /// The QP was torn down with this WR outstanding.
+    Flushed,
+    /// A local or protocol error; details in diagnostics counters.
+    Error,
+}
+
+/// Identity of the remote sender, reported on datagram completions
+/// (paper §IV.B item 4: "completion queue elements need to be altered to
+/// include information concerning the source address and port").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CqeSource {
+    /// Fabric address (node:port) of the sending conduit.
+    pub addr: Addr,
+    /// Sender's QP number.
+    pub qpn: u32,
+}
+
+/// One completion-queue entry.
+#[derive(Clone, Debug)]
+pub struct Cqe {
+    /// Application token from the work request (0 for unsolicited
+    /// target-side Write-Record completions).
+    pub wr_id: u64,
+    /// Operation kind.
+    pub opcode: CqeOpcode,
+    /// Outcome.
+    pub status: CqeStatus,
+    /// Bytes transferred (for `Partial`: bytes actually valid).
+    pub byte_len: u32,
+    /// Sender identity on datagram receives.
+    pub src: Option<CqeSource>,
+    /// Validity details for target-side Write-Record completions.
+    pub write_record: Option<WriteRecordInfo>,
+    /// Immediate data delivered by an RDMA Write with Immediate.
+    pub imm: Option<u32>,
+    /// True when the sender requested a solicited event (send with
+    /// solicited event / write-with-immediate); see
+    /// [`Cq::wait_solicited`].
+    pub solicited: bool,
+}
+
+struct CqInner {
+    queue: Mutex<VecDeque<Cqe>>,
+    cv: Condvar,
+    /// Woken only by solicited completions (the solicited-event channel).
+    solicited_cv: Condvar,
+    solicited_seq: AtomicU64,
+    capacity: usize,
+    overflows: AtomicU64,
+}
+
+/// A completion queue. Clones share the same queue.
+#[derive(Clone)]
+pub struct Cq {
+    inner: Arc<CqInner>,
+}
+
+impl Cq {
+    /// Creates a CQ holding at most `capacity` outstanding entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(CqInner {
+                queue: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+                cv: Condvar::new(),
+                solicited_cv: Condvar::new(),
+                solicited_seq: AtomicU64::new(0),
+                capacity: capacity.max(1),
+                overflows: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Enqueues a completion. On overflow the entry is dropped and counted
+    /// (a real RNIC would transition to a catastrophic error; benchmarks
+    /// size their CQs to make this unreachable).
+    pub fn push(&self, cqe: Cqe) {
+        let mut q = self.inner.queue.lock();
+        if q.len() >= self.inner.capacity {
+            self.inner.overflows.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let solicited = cqe.solicited;
+        q.push_back(cqe);
+        drop(q);
+        self.inner.cv.notify_one();
+        if solicited {
+            self.inner.solicited_seq.fetch_add(1, Ordering::Relaxed);
+            self.inner.solicited_cv.notify_all();
+        }
+    }
+
+    /// Blocks until a *solicited* completion has been enqueued since this
+    /// call started (the solicited-event mechanism: an application can
+    /// sleep here instead of burning CPU polling, and be woken only for
+    /// completions the sender marked important). Entries are NOT consumed;
+    /// follow up with [`Cq::poll`].
+    pub fn wait_solicited(&self, timeout: Duration) -> IwarpResult<()> {
+        let deadline = Instant::now() + timeout;
+        let start_seq = self.inner.solicited_seq.load(Ordering::Relaxed);
+        // Fast path: a solicited completion may already be queued.
+        if self.inner.queue.lock().iter().any(|c| c.solicited) {
+            return Ok(());
+        }
+        let mut q = self.inner.queue.lock();
+        loop {
+            if self.inner.solicited_seq.load(Ordering::Relaxed) != start_seq
+                || q.iter().any(|c| c.solicited)
+            {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(IwarpError::PollTimeout);
+            }
+            self.inner.solicited_cv.wait_for(&mut q, deadline - now);
+        }
+    }
+
+    /// Non-blocking poll.
+    #[must_use]
+    pub fn poll(&self) -> Option<Cqe> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Polls with a timeout — the mandatory datagram-iWARP polling mode.
+    pub fn poll_timeout(&self, timeout: Duration) -> IwarpResult<Cqe> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(cqe) = q.pop_front() {
+                return Ok(cqe);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(IwarpError::PollTimeout);
+            }
+            self.inner.cv.wait_for(&mut q, deadline - now);
+        }
+    }
+
+    /// Polls until `n` completions arrive or `timeout` elapses.
+    pub fn poll_n(&self, n: usize, timeout: Duration) -> IwarpResult<Vec<Cqe>> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(IwarpError::PollTimeout);
+            }
+            out.push(self.poll_timeout(deadline - now)?);
+        }
+        Ok(out)
+    }
+
+    /// Entries currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// True when no completions are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of completions dropped to overflow since creation.
+    #[must_use]
+    pub fn overflows(&self) -> u64 {
+        self.inner.overflows.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Cq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cq")
+            .field("len", &self.len())
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cqe(wr_id: u64) -> Cqe {
+        Cqe {
+            wr_id,
+            opcode: CqeOpcode::Send,
+            status: CqeStatus::Success,
+            byte_len: 0,
+            src: None,
+            write_record: None,
+            imm: None,
+            solicited: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let cq = Cq::new(16);
+        for i in 0..5 {
+            cq.push(cqe(i));
+        }
+        for i in 0..5 {
+            assert_eq!(cq.poll().unwrap().wr_id, i);
+        }
+        assert!(cq.poll().is_none());
+    }
+
+    #[test]
+    fn poll_timeout_expires() {
+        let cq = Cq::new(4);
+        let t0 = Instant::now();
+        let err = cq.poll_timeout(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, IwarpError::PollTimeout);
+        assert!(t0.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn poll_wakes_on_push() {
+        let cq = Cq::new(4);
+        std::thread::scope(|s| {
+            let cq2 = cq.clone();
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                cq2.push(cqe(42));
+            });
+            let got = cq.poll_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(got.wr_id, 42);
+        });
+    }
+
+    #[test]
+    fn overflow_counts_and_drops() {
+        let cq = Cq::new(2);
+        cq.push(cqe(0));
+        cq.push(cqe(1));
+        cq.push(cqe(2));
+        assert_eq!(cq.len(), 2);
+        assert_eq!(cq.overflows(), 1);
+    }
+
+    #[test]
+    fn poll_n_collects() {
+        let cq = Cq::new(16);
+        for i in 0..3 {
+            cq.push(cqe(i));
+        }
+        let got = cq.poll_n(3, Duration::from_millis(100)).unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(cq
+            .poll_n(1, Duration::from_millis(10))
+            .is_err());
+    }
+}

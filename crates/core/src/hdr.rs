@@ -1,0 +1,477 @@
+//! DDP/RDMAP wire formats.
+//!
+//! iWARP carries RDMAP operations inside DDP segments. The standard defines
+//! two DDP models (RFC 5041), both reproduced here:
+//!
+//! * **untagged** — send/recv: the receiver owns placement; segments carry
+//!   a queue number (QN), message sequence number (MSN) and message offset
+//!   (MO) used to match a posted receive;
+//! * **tagged** — RDMA Write / Read Response: segments carry an STag and
+//!   tagged offset (TO) steering them directly into registered memory.
+//!
+//! Datagram-iWARP extends both headers (paper §IV.B item 4): segments name
+//! the *source QP number* so the target can report the sender back to the
+//! application, and carry a per-message `msg_id` + `total_len` so that
+//! multi-datagram messages can be reassembled (or partially placed) without
+//! any stream state. The `NOTIFY` bit distinguishes RDMA **Write-Record**
+//! (target-side completion logging) from a plain RDMA Write.
+//!
+//! On the datagram path every segment ends in a mandatory CRC32 trailer
+//! (paper §IV.B item 6). On the stream path the MPA layer already applies
+//! a CRC per FPDU, so DDP omits it — mirroring the paper's recommendation
+//! to avoid redundant checks.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use iwarp_common::crc32::crc32c;
+
+use crate::error::{IwarpError, IwarpResult};
+
+/// RDMAP operation codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RdmapOpcode {
+    /// Untagged send (two-sided).
+    Send = 0,
+    /// Tagged RDMA Write (one-sided, no target completion).
+    RdmaWrite = 1,
+    /// Tagged RDMA Write-Record (one-sided, target logs a completion) —
+    /// the paper's new operation.
+    WriteRecord = 2,
+    /// Untagged RDMA Read Request (QN 1).
+    ReadRequest = 3,
+    /// Tagged RDMA Read Response.
+    ReadResponse = 4,
+    /// Terminate (error reporting).
+    Terminate = 5,
+    /// Tagged RDMA Write with Immediate (InfiniBand-style): places data
+    /// one-sided but *consumes a posted receive* at the target to deliver
+    /// the immediate — the operation the paper contrasts Write-Record
+    /// against ("RDMA Write with immediate ... requires that a receive be
+    /// posted at the target", §IV.B.3).
+    RdmaWriteImm = 6,
+}
+
+impl RdmapOpcode {
+    fn from_u8(v: u8) -> IwarpResult<Self> {
+        Ok(match v {
+            0 => RdmapOpcode::Send,
+            1 => RdmapOpcode::RdmaWrite,
+            2 => RdmapOpcode::WriteRecord,
+            3 => RdmapOpcode::ReadRequest,
+            4 => RdmapOpcode::ReadResponse,
+            5 => RdmapOpcode::Terminate,
+            6 => RdmapOpcode::RdmaWriteImm,
+            _ => return Err(IwarpError::Net(simnet::NetError::Protocol("bad opcode"))),
+        })
+    }
+}
+
+const CTRL_TAGGED: u8 = 0x01;
+const CTRL_LAST: u8 = 0x02;
+const CTRL_NOTIFY: u8 = 0x04;
+const CTRL_SOLICITED: u8 = 0x08;
+const CTRL_VERSION: u8 = 0x10;
+const CTRL_VERSION_MASK: u8 = 0xF0;
+
+/// Untagged DDP header (send/recv and read requests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UntaggedHdr {
+    /// RDMAP opcode carried in this segment.
+    pub opcode: RdmapOpcode,
+    /// True on the final segment of the message.
+    pub last: bool,
+    /// DDP queue number: 0 = send queue, 1 = read-request, 2 = terminate.
+    pub qn: u32,
+    /// Message sequence number on `qn` (per peer on UD).
+    pub msn: u32,
+    /// Offset of this segment's payload within the message.
+    pub mo: u32,
+    /// Total message length.
+    pub total_len: u32,
+    /// Sender's QP number (datagram extension: lets the target report the
+    /// traffic source back to the application).
+    pub src_qpn: u32,
+    /// Message identity for connectionless reassembly (datagram extension).
+    pub msg_id: u64,
+    /// Solicited-event send: asks the target to raise a completion event
+    /// (the "send with solicited event" verb the paper compares
+    /// Write-Record with).
+    pub solicited: bool,
+}
+
+/// Size of the encoded untagged header.
+pub const UNTAGGED_HDR_LEN: usize = 30;
+
+/// Tagged DDP header (RDMA Write, Write-Record, Read Response).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaggedHdr {
+    /// RDMAP opcode carried in this segment.
+    pub opcode: RdmapOpcode,
+    /// True on the final segment of the message.
+    pub last: bool,
+    /// True when the target must log a Write-Record completion.
+    pub notify: bool,
+    /// Steering tag of the destination region.
+    pub stag: u32,
+    /// Tagged offset: where this segment's payload is placed.
+    pub to: u64,
+    /// Tagged offset of the whole message's start (Write-Record uses this
+    /// to aggregate per-segment placements into one validity map).
+    pub base_to: u64,
+    /// Total message length.
+    pub total_len: u32,
+    /// Sender's QP number (datagram extension).
+    pub src_qpn: u32,
+    /// Message identity for record aggregation (datagram extension).
+    pub msg_id: u64,
+    /// Immediate data for [`RdmapOpcode::RdmaWriteImm`] (ignored
+    /// otherwise).
+    pub imm: u32,
+}
+
+/// Size of the encoded tagged header.
+pub const TAGGED_HDR_LEN: usize = 42;
+
+/// CRC32 trailer size on the datagram path.
+pub const CRC_LEN: usize = 4;
+
+/// A decoded DDP segment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DdpSegment {
+    /// Untagged (receiver-managed placement).
+    Untagged {
+        /// Parsed header.
+        hdr: UntaggedHdr,
+        /// Segment payload.
+        payload: Bytes,
+    },
+    /// Tagged (sender-steered placement).
+    Tagged {
+        /// Parsed header.
+        hdr: TaggedHdr,
+        /// Segment payload.
+        payload: Bytes,
+    },
+}
+
+impl DdpSegment {
+    /// The segment payload.
+    #[must_use]
+    pub fn payload(&self) -> &Bytes {
+        match self {
+            DdpSegment::Untagged { payload, .. } | DdpSegment::Tagged { payload, .. } => payload,
+        }
+    }
+}
+
+/// Encodes an untagged segment; appends a CRC32 trailer when `with_crc`.
+#[must_use]
+pub fn encode_untagged(hdr: &UntaggedHdr, payload: &[u8], with_crc: bool) -> Bytes {
+    let cap = UNTAGGED_HDR_LEN + payload.len() + if with_crc { CRC_LEN } else { 0 };
+    let mut b = BytesMut::with_capacity(cap);
+    let mut ctrl = CTRL_VERSION;
+    if hdr.last {
+        ctrl |= CTRL_LAST;
+    }
+    if hdr.solicited {
+        ctrl |= CTRL_SOLICITED;
+    }
+    b.put_u8(ctrl);
+    b.put_u8(hdr.opcode as u8);
+    b.put_u32(hdr.qn);
+    b.put_u32(hdr.msn);
+    b.put_u32(hdr.mo);
+    b.put_u32(hdr.total_len);
+    b.put_u32(hdr.src_qpn);
+    b.put_u64(hdr.msg_id);
+    b.extend_from_slice(payload);
+    if with_crc {
+        let crc = crc32c(&b);
+        b.put_u32(crc);
+    }
+    b.freeze()
+}
+
+/// Encodes a tagged segment; appends a CRC32 trailer when `with_crc`.
+#[must_use]
+pub fn encode_tagged(hdr: &TaggedHdr, payload: &[u8], with_crc: bool) -> Bytes {
+    let cap = TAGGED_HDR_LEN + payload.len() + if with_crc { CRC_LEN } else { 0 };
+    let mut b = BytesMut::with_capacity(cap);
+    let mut ctrl = CTRL_VERSION | CTRL_TAGGED;
+    if hdr.last {
+        ctrl |= CTRL_LAST;
+    }
+    if hdr.notify {
+        ctrl |= CTRL_NOTIFY;
+    }
+    b.put_u8(ctrl);
+    b.put_u8(hdr.opcode as u8);
+    b.put_u32(hdr.stag);
+    b.put_u64(hdr.to);
+    b.put_u64(hdr.base_to);
+    b.put_u32(hdr.total_len);
+    b.put_u32(hdr.src_qpn);
+    b.put_u64(hdr.msg_id);
+    b.put_u32(hdr.imm);
+    b.extend_from_slice(payload);
+    if with_crc {
+        let crc = crc32c(&b);
+        b.put_u32(crc);
+    }
+    b.freeze()
+}
+
+/// Decodes a DDP segment. When `with_crc`, the trailing CRC32 is verified
+/// and [`IwarpError::CrcMismatch`] returned on corruption.
+pub fn decode(raw: &Bytes, with_crc: bool) -> IwarpResult<DdpSegment> {
+    let malformed = || IwarpError::Net(simnet::NetError::Protocol("malformed DDP segment"));
+    let mut body_len = raw.len();
+    if with_crc {
+        if raw.len() < CRC_LEN {
+            return Err(malformed());
+        }
+        body_len -= CRC_LEN;
+        let expect = u32::from_be_bytes(raw[body_len..].try_into().expect("CRC_LEN bytes"));
+        if crc32c(&raw[..body_len]) != expect {
+            return Err(IwarpError::CrcMismatch);
+        }
+    }
+    if body_len < 2 {
+        return Err(malformed());
+    }
+    let ctrl = raw[0];
+    if ctrl & CTRL_VERSION_MASK != CTRL_VERSION {
+        return Err(malformed());
+    }
+    let opcode = RdmapOpcode::from_u8(raw[1])?;
+    let last = ctrl & CTRL_LAST != 0;
+    if ctrl & CTRL_TAGGED != 0 {
+        if body_len < TAGGED_HDR_LEN {
+            return Err(malformed());
+        }
+        let hdr = TaggedHdr {
+            opcode,
+            last,
+            notify: ctrl & CTRL_NOTIFY != 0,
+            stag: u32::from_be_bytes(raw[2..6].try_into().expect("sized")),
+            to: u64::from_be_bytes(raw[6..14].try_into().expect("sized")),
+            base_to: u64::from_be_bytes(raw[14..22].try_into().expect("sized")),
+            total_len: u32::from_be_bytes(raw[22..26].try_into().expect("sized")),
+            src_qpn: u32::from_be_bytes(raw[26..30].try_into().expect("sized")),
+            msg_id: u64::from_be_bytes(raw[30..38].try_into().expect("sized")),
+            imm: u32::from_be_bytes(raw[38..42].try_into().expect("sized")),
+        };
+        Ok(DdpSegment::Tagged {
+            hdr,
+            payload: raw.slice(TAGGED_HDR_LEN..body_len),
+        })
+    } else {
+        if body_len < UNTAGGED_HDR_LEN {
+            return Err(malformed());
+        }
+        let hdr = UntaggedHdr {
+            opcode,
+            last,
+            solicited: ctrl & CTRL_SOLICITED != 0,
+            qn: u32::from_be_bytes(raw[2..6].try_into().expect("sized")),
+            msn: u32::from_be_bytes(raw[6..10].try_into().expect("sized")),
+            mo: u32::from_be_bytes(raw[10..14].try_into().expect("sized")),
+            total_len: u32::from_be_bytes(raw[14..18].try_into().expect("sized")),
+            src_qpn: u32::from_be_bytes(raw[18..22].try_into().expect("sized")),
+            msg_id: u64::from_be_bytes(raw[22..30].try_into().expect("sized")),
+        };
+        Ok(DdpSegment::Untagged {
+            hdr,
+            payload: raw.slice(UNTAGGED_HDR_LEN..body_len),
+        })
+    }
+}
+
+/// Payload of an RDMA Read Request (carried untagged on QN 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadRequest {
+    /// Requester's sink region (where the response lands).
+    pub sink_stag: u32,
+    /// Sink tagged offset.
+    pub sink_to: u64,
+    /// Bytes to read.
+    pub len: u32,
+    /// Responder's source region.
+    pub src_stag: u32,
+    /// Source tagged offset.
+    pub src_to: u64,
+}
+
+/// Encoded length of a read request payload.
+pub const READ_REQUEST_LEN: usize = 28;
+
+impl ReadRequest {
+    /// Serializes the request payload.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(READ_REQUEST_LEN);
+        b.put_u32(self.sink_stag);
+        b.put_u64(self.sink_to);
+        b.put_u32(self.len);
+        b.put_u32(self.src_stag);
+        b.put_u64(self.src_to);
+        b.freeze()
+    }
+
+    /// Parses a request payload.
+    pub fn decode(raw: &[u8]) -> IwarpResult<Self> {
+        if raw.len() != READ_REQUEST_LEN {
+            return Err(IwarpError::Net(simnet::NetError::Protocol(
+                "bad read request length",
+            )));
+        }
+        Ok(Self {
+            sink_stag: u32::from_be_bytes(raw[0..4].try_into().expect("sized")),
+            sink_to: u64::from_be_bytes(raw[4..12].try_into().expect("sized")),
+            len: u32::from_be_bytes(raw[12..16].try_into().expect("sized")),
+            src_stag: u32::from_be_bytes(raw[16..20].try_into().expect("sized")),
+            src_to: u64::from_be_bytes(raw[20..28].try_into().expect("sized")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_untagged() -> UntaggedHdr {
+        UntaggedHdr {
+            opcode: RdmapOpcode::Send,
+            last: true,
+            qn: 0,
+            msn: 7,
+            mo: 1500,
+            total_len: 3000,
+            src_qpn: 42,
+            msg_id: 0xDEAD_BEEF_0000_0001,
+            solicited: false,
+        }
+    }
+
+    fn sample_tagged() -> TaggedHdr {
+        TaggedHdr {
+            opcode: RdmapOpcode::WriteRecord,
+            last: false,
+            notify: true,
+            stag: 0x200,
+            to: 128 * 1024,
+            base_to: 64 * 1024,
+            total_len: 256 * 1024,
+            src_qpn: 9,
+            msg_id: 77,
+            imm: 0x1234_5678,
+        }
+    }
+
+    #[test]
+    fn untagged_roundtrip_with_crc() {
+        let hdr = sample_untagged();
+        let enc = encode_untagged(&hdr, b"payload-bytes", true);
+        match decode(&enc, true).unwrap() {
+            DdpSegment::Untagged { hdr: h, payload } => {
+                assert_eq!(h, hdr);
+                assert_eq!(&payload[..], b"payload-bytes");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untagged_roundtrip_without_crc() {
+        let hdr = sample_untagged();
+        let enc = encode_untagged(&hdr, b"x", false);
+        assert_eq!(enc.len(), UNTAGGED_HDR_LEN + 1);
+        let seg = decode(&enc, false).unwrap();
+        assert_eq!(seg.payload(), &Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn tagged_roundtrip_with_crc() {
+        let hdr = sample_tagged();
+        let enc = encode_tagged(&hdr, &[0xAB; 100], true);
+        match decode(&enc, true).unwrap() {
+            DdpSegment::Tagged { hdr: h, payload } => {
+                assert_eq!(h, hdr);
+                assert_eq!(payload.len(), 100);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        let enc = encode_untagged(&sample_untagged(), b"payload", true);
+        for i in [0usize, 5, UNTAGGED_HDR_LEN + 2, enc.len() - 1] {
+            let mut bad = enc.to_vec();
+            bad[i] ^= 0x40;
+            let err = decode(&Bytes::from(bad), true).unwrap_err();
+            assert_eq!(err, IwarpError::CrcMismatch, "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let enc = encode_tagged(&sample_tagged(), b"abc", false);
+        for len in [0, 1, TAGGED_HDR_LEN - 1] {
+            assert!(decode(&enc.slice(..len), false).is_err(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let enc = encode_untagged(&sample_untagged(), b"", false);
+        let mut bad = enc.to_vec();
+        bad[0] = (bad[0] & !CTRL_VERSION_MASK) | 0x20;
+        assert!(decode(&Bytes::from(bad), false).is_err());
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let enc = encode_untagged(&sample_untagged(), b"", false);
+        let mut bad = enc.to_vec();
+        bad[1] = 99;
+        assert!(decode(&Bytes::from(bad), false).is_err());
+    }
+
+    #[test]
+    fn empty_payload_segments() {
+        let hdr = UntaggedHdr {
+            total_len: 0,
+            mo: 0,
+            ..sample_untagged()
+        };
+        let enc = encode_untagged(&hdr, b"", true);
+        let seg = decode(&enc, true).unwrap();
+        assert!(seg.payload().is_empty());
+    }
+
+    #[test]
+    fn read_request_roundtrip() {
+        let rr = ReadRequest {
+            sink_stag: 1,
+            sink_to: 2,
+            len: 3,
+            src_stag: 4,
+            src_to: 5,
+        };
+        assert_eq!(ReadRequest::decode(&rr.encode()).unwrap(), rr);
+        assert!(ReadRequest::decode(b"short").is_err());
+    }
+
+    #[test]
+    fn notify_flag_roundtrips() {
+        let mut hdr = sample_tagged();
+        hdr.notify = false;
+        let enc = encode_tagged(&hdr, b"", false);
+        match decode(&enc, false).unwrap() {
+            DdpSegment::Tagged { hdr: h, .. } => assert!(!h.notify),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! The datagram queue pair: datagram-iWARP's UD and RD modes.
+//!
+//! One engine serves both modes — the difference is the conduit underneath
+//! ([`simnet::DgramConduit`] for UD, [`simnet::RdConduit`] for RD), chosen
+//! at creation by [`crate::device::Device::create_ud_qp`] /
+//! [`crate::device::Device::create_rd_qp`].
+//!
+//! Key departures from connected iWARP, per paper §IV.B:
+//!
+//! * **no connection**: every send names a [`UdDest`]; every receive
+//!   completion reports the source address and QP;
+//! * **no MPA**: segments go straight into datagrams with a mandatory
+//!   CRC32 trailer;
+//! * **loss is not fatal**: CRC failures and drops are counted, buffers
+//!   recovered on a TTL, and the QP keeps operating;
+//! * **RDMA Write-Record**: the one-sided write whose completion is logged
+//!   at the *target*, with partial placement under loss;
+//! * **UD RDMA Read** (paper future work, implemented as an extension):
+//!   reads complete with `Expired` status if the response is lost.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use simnet::{Addr, DgramConduit, NetError, RdConduit};
+
+use iwarp_common::memacct::MemScope;
+
+use crate::buf::{MemoryRegion, MrTable};
+use crate::cq::{Cq, Cqe, CqeOpcode, CqeStatus};
+use crate::error::{IwarpError, IwarpResult};
+use crate::hdr::{
+    encode_tagged, encode_untagged, CRC_LEN, RdmapOpcode, ReadRequest, TaggedHdr, UntaggedHdr,
+    TAGGED_HDR_LEN, UNTAGGED_HDR_LEN,
+};
+use crate::qp::rx::{RxAction, RxCore, QN_READ_REQUEST, QN_SEND};
+use crate::qp::QpConfig;
+use crate::wr::{RecvWr, SendPayload, UdDest};
+
+pub use crate::qp::rx::QpStats;
+
+/// The datagram LLP under a QP: unreliable or reliable datagrams.
+pub(crate) enum DgLlp {
+    /// Unreliable datagram service (UDP analog) — UD mode.
+    Ud(DgramConduit),
+    /// Reliable datagram service — RD mode.
+    Rd(Box<RdConduit>),
+}
+
+impl DgLlp {
+    fn send_to(&self, dst: Addr, payload: Bytes) -> Result<(), NetError> {
+        match self {
+            DgLlp::Ud(c) => c.send_to(dst, payload),
+            DgLlp::Rd(c) => c.send_to(dst, payload),
+        }
+    }
+
+    fn recv_from(&self, timeout: Duration) -> Result<(Addr, Bytes), NetError> {
+        match self {
+            DgLlp::Ud(c) => c.recv_from(Some(timeout)),
+            DgLlp::Rd(c) => c.recv_from(Some(timeout)),
+        }
+    }
+
+    fn max_datagram(&self) -> usize {
+        match self {
+            DgLlp::Ud(c) => c.max_datagram(),
+            DgLlp::Rd(c) => c.max_datagram(),
+        }
+    }
+
+    fn local_addr(&self) -> Addr {
+        match self {
+            DgLlp::Ud(c) => c.local_addr(),
+            DgLlp::Rd(c) => c.local_addr(),
+        }
+    }
+
+    fn is_reliable(&self) -> bool {
+        matches!(self, DgLlp::Rd(_))
+    }
+}
+
+struct DgInner {
+    qpn: u32,
+    llp: DgLlp,
+    send_cq: Cq,
+    rx: RxCore,
+    next_msg_id: AtomicU64,
+    next_msn: AtomicU32,
+    max_msg_size: usize,
+    shutdown: AtomicBool,
+    _mem: Option<MemScope>,
+}
+
+/// A datagram-iWARP queue pair (UD or RD mode).
+///
+/// Created through [`crate::device::Device`]; see the crate root for the
+/// full API tour.
+pub struct DatagramQp {
+    inner: Arc<DgInner>,
+    rx_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DatagramQp {
+    pub(crate) fn new(
+        qpn: u32,
+        llp: DgLlp,
+        mrs: Arc<MrTable>,
+        send_cq: Cq,
+        recv_cq: Cq,
+        cfg: QpConfig,
+        mem: Option<MemScope>,
+    ) -> Self {
+        let max_msg_size = cfg.max_msg_size;
+        let reliable = llp.is_reliable();
+        let inner = Arc::new(DgInner {
+            rx: RxCore::new(mrs, recv_cq, cfg, reliable),
+            qpn,
+            llp,
+            send_cq,
+            next_msg_id: AtomicU64::new(1),
+            next_msn: AtomicU32::new(1),
+            max_msg_size,
+            shutdown: AtomicBool::new(false),
+            _mem: mem,
+        });
+        let rx_thread = if inner.rx.cfg.poll_mode {
+            None
+        } else {
+            let rx_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("iwarp-dgqp-{qpn}"))
+                    .spawn(move || rx_loop(&rx_inner))
+                    .expect("spawn datagram QP rx thread"),
+            )
+        };
+        Self { inner, rx_thread }
+    }
+
+    /// Poll-mode driver: one receive-engine iteration, waiting up to
+    /// `max_wait` for an incoming datagram. Call this (or let the socket
+    /// shim call it) when the QP was created with
+    /// [`QpConfig::poll_mode`]; in threaded mode the engine thread
+    /// already does this work.
+    pub fn progress(&self, max_wait: Duration) {
+        rx_step(&self.inner, max_wait);
+    }
+
+    /// This QP's number (advertise it to peers along with
+    /// [`Self::local_addr`]).
+    #[must_use]
+    pub fn qpn(&self) -> u32 {
+        self.inner.qpn
+    }
+
+    /// The conduit address peers send to.
+    #[must_use]
+    pub fn local_addr(&self) -> Addr {
+        self.inner.llp.local_addr()
+    }
+
+    /// The [`UdDest`] peers should use to reach this QP.
+    #[must_use]
+    pub fn dest(&self) -> UdDest {
+        UdDest {
+            addr: self.local_addr(),
+            qpn: self.qpn(),
+        }
+    }
+
+    /// True for RD (reliable datagram) mode.
+    #[must_use]
+    pub fn is_reliable(&self) -> bool {
+        self.inner.llp.is_reliable()
+    }
+
+    /// The send completion queue.
+    #[must_use]
+    pub fn send_cq(&self) -> &Cq {
+        &self.inner.send_cq
+    }
+
+    /// The receive completion queue.
+    #[must_use]
+    pub fn recv_cq(&self) -> &Cq {
+        &self.inner.rx.recv_cq
+    }
+
+    /// Diagnostics counters.
+    #[must_use]
+    pub fn stats(&self) -> &QpStats {
+        &self.inner.rx.stats
+    }
+
+    /// Largest message this QP will send.
+    #[must_use]
+    pub fn max_msg_size(&self) -> usize {
+        self.inner.max_msg_size
+    }
+
+    /// DDP segment payload capacity per datagram: each segment must fit a
+    /// single datagram (the paper's §IV.B "one DDP segment per datagram").
+    #[must_use]
+    pub fn untagged_seg_capacity(&self) -> usize {
+        self.inner.llp.max_datagram() - UNTAGGED_HDR_LEN - CRC_LEN
+    }
+
+    /// Tagged-segment payload capacity per datagram.
+    #[must_use]
+    pub fn tagged_seg_capacity(&self) -> usize {
+        self.inner.llp.max_datagram() - TAGGED_HDR_LEN - CRC_LEN
+    }
+
+    /// Posts a receive work request.
+    pub fn post_recv(&self, wr: RecvWr) -> IwarpResult<()> {
+        self.inner.rx.post_recv(wr);
+        Ok(())
+    }
+
+    /// Number of posted, unconsumed receives.
+    #[must_use]
+    pub fn posted_recvs(&self) -> usize {
+        self.inner.rx.rq_len()
+    }
+
+    /// Posts an untagged send to `dest`. Completes on the send CQ as soon
+    /// as every segment has been handed to the LLP (datagram semantics:
+    /// no acknowledgement is awaited).
+    pub fn post_send(
+        &self,
+        wr_id: u64,
+        payload: impl Into<SendPayload>,
+        dest: UdDest,
+    ) -> IwarpResult<()> {
+        self.post_send_inner(wr_id, payload.into(), dest, false)
+    }
+
+    /// Posts a **send with solicited event**: identical to
+    /// [`Self::post_send`] on the wire except the target's completion is
+    /// flagged solicited, waking [`Cq::wait_solicited`] waiters — the
+    /// two-sided notification verb the paper compares Write-Record with
+    /// (§IV.B.3).
+    pub fn post_send_solicited(
+        &self,
+        wr_id: u64,
+        payload: impl Into<SendPayload>,
+        dest: UdDest,
+    ) -> IwarpResult<()> {
+        self.post_send_inner(wr_id, payload.into(), dest, true)
+    }
+
+    fn post_send_inner(
+        &self,
+        wr_id: u64,
+        payload: SendPayload,
+        dest: UdDest,
+        solicited: bool,
+    ) -> IwarpResult<()> {
+        let data = payload.into_bytes()?;
+        if data.len() > self.inner.max_msg_size {
+            return Err(IwarpError::MessageTooLong {
+                len: data.len(),
+                max: self.inner.max_msg_size,
+            });
+        }
+        let msg_id = self.inner.next_msg_id.fetch_add(1, Ordering::Relaxed);
+        let msn = self.inner.next_msn.fetch_add(1, Ordering::Relaxed);
+        let cap = self.untagged_seg_capacity();
+        let total = data.len() as u32;
+        let mut mo = 0usize;
+        loop {
+            let end = (mo + cap).min(data.len());
+            let hdr = UntaggedHdr {
+                opcode: RdmapOpcode::Send,
+                last: end == data.len(),
+                qn: QN_SEND,
+                msn,
+                mo: mo as u32,
+                total_len: total,
+                src_qpn: self.inner.qpn,
+                msg_id,
+                solicited,
+            };
+            let seg = encode_untagged(&hdr, &data[mo..end], true);
+            self.inner.llp.send_to(dest.addr, seg)?;
+            if end == data.len() {
+                break;
+            }
+            mo = end;
+        }
+        self.inner.send_cq.push(Cqe {
+            wr_id,
+            opcode: CqeOpcode::Send,
+            status: CqeStatus::Success,
+            byte_len: total,
+            src: None,
+            write_record: None,
+        imm: None,
+        solicited: false,
+        });
+        Ok(())
+    }
+
+    /// Posts an **RDMA Write-Record** to `(remote_stag, remote_to)` on the
+    /// target named by `dest` — the paper's new one-sided operation. No
+    /// receive is consumed at the target; its stack logs a completion with
+    /// a validity map once the final segment arrives.
+    pub fn post_write_record(
+        &self,
+        wr_id: u64,
+        payload: impl Into<SendPayload>,
+        dest: UdDest,
+        remote_stag: u32,
+        remote_to: u64,
+    ) -> IwarpResult<()> {
+        self.post_tagged(
+            wr_id,
+            payload.into(),
+            dest,
+            remote_stag,
+            remote_to,
+            RdmapOpcode::WriteRecord,
+            true,
+            0,
+        )
+    }
+
+    /// Posts an InfiniBand-style **RDMA Write with Immediate**: data is
+    /// placed one-sided, but delivering `imm` consumes a *posted receive*
+    /// at the target — the requirement RDMA Write-Record removes
+    /// (paper §IV.B.3). On UD, if no receive is posted the immediate is
+    /// lost (counted in the target's `dropped_no_rq`).
+    pub fn post_write_imm(
+        &self,
+        wr_id: u64,
+        payload: impl Into<SendPayload>,
+        dest: UdDest,
+        remote_stag: u32,
+        remote_to: u64,
+        imm: u32,
+    ) -> IwarpResult<()> {
+        self.post_tagged(
+            wr_id,
+            payload.into(),
+            dest,
+            remote_stag,
+            remote_to,
+            RdmapOpcode::RdmaWriteImm,
+            true,
+            imm,
+        )
+    }
+
+    /// Posts a plain RDMA Write (no target-side completion). Only
+    /// meaningful on RD mode, where delivery is guaranteed; on UD the
+    /// target application would have no way to learn the data arrived —
+    /// use [`Self::post_write_record`] there (the paper's point).
+    pub fn post_write(
+        &self,
+        wr_id: u64,
+        payload: impl Into<SendPayload>,
+        dest: UdDest,
+        remote_stag: u32,
+        remote_to: u64,
+    ) -> IwarpResult<()> {
+        self.post_tagged(
+            wr_id,
+            payload.into(),
+            dest,
+            remote_stag,
+            remote_to,
+            RdmapOpcode::RdmaWrite,
+            false,
+            0,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn post_tagged(
+        &self,
+        wr_id: u64,
+        payload: SendPayload,
+        dest: UdDest,
+        remote_stag: u32,
+        remote_to: u64,
+        opcode: RdmapOpcode,
+        notify: bool,
+        imm: u32,
+    ) -> IwarpResult<()> {
+        let data = payload.into_bytes()?;
+        if data.len() > self.inner.max_msg_size {
+            return Err(IwarpError::MessageTooLong {
+                len: data.len(),
+                max: self.inner.max_msg_size,
+            });
+        }
+        let msg_id = self.inner.next_msg_id.fetch_add(1, Ordering::Relaxed);
+        let cap = self.tagged_seg_capacity();
+        let total = data.len() as u32;
+        let mut off = 0usize;
+        loop {
+            let end = (off + cap).min(data.len());
+            let hdr = TaggedHdr {
+                opcode,
+                last: end == data.len(),
+                notify,
+                stag: remote_stag,
+                to: remote_to + off as u64,
+                base_to: remote_to,
+                total_len: total,
+                src_qpn: self.inner.qpn,
+                msg_id,
+                imm,
+            };
+            let seg = encode_tagged(&hdr, &data[off..end], true);
+            self.inner.llp.send_to(dest.addr, seg)?;
+            if end == data.len() {
+                break;
+            }
+            off = end;
+        }
+        self.inner.send_cq.push(Cqe {
+            wr_id,
+            opcode: CqeOpcode::RdmaWrite,
+            status: CqeStatus::Success,
+            byte_len: total,
+            src: None,
+            write_record: None,
+        imm: None,
+        solicited: false,
+        });
+        Ok(())
+    }
+
+    /// Posts an RDMA Read (paper future-work extension): fetches
+    /// `len` bytes from `(remote_stag, remote_to)` on `dest` into
+    /// `(sink, sink_to)`. Completes on the **receive** CQ with the given
+    /// `wr_id`; if the response is lost on UD, the completion carries
+    /// [`CqeStatus::Expired`] after the configured read TTL.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_read(
+        &self,
+        wr_id: u64,
+        sink: &MemoryRegion,
+        sink_to: u64,
+        len: u32,
+        dest: UdDest,
+        remote_stag: u32,
+        remote_to: u64,
+    ) -> IwarpResult<()> {
+        // Validate the sink locally before emitting the request.
+        sink.read_bytes(sink_to, 0)?;
+        if u64::from(len) + sink_to > sink.len() as u64 {
+            return Err(IwarpError::AccessViolation {
+                stag: sink.stag(),
+                offset: sink_to,
+                len,
+            });
+        }
+        let msg_id = self.inner.next_msg_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.rx.register_read(
+            msg_id,
+            RxCore::new_pending_read(wr_id, sink.clone(), sink_to, len),
+        );
+        let req = ReadRequest {
+            sink_stag: sink.stag(),
+            sink_to,
+            len,
+            src_stag: remote_stag,
+            src_to: remote_to,
+        };
+        let hdr = UntaggedHdr {
+            opcode: RdmapOpcode::ReadRequest,
+            last: true,
+            solicited: false,
+            qn: QN_READ_REQUEST,
+            msn: self.inner.next_msn.fetch_add(1, Ordering::Relaxed),
+            mo: 0,
+            total_len: crate::hdr::READ_REQUEST_LEN as u32,
+            src_qpn: self.inner.qpn,
+            msg_id,
+        };
+        let seg = encode_untagged(&hdr, &req.encode(), true);
+        self.inner.llp.send_to(dest.addr, seg)?;
+        Ok(())
+    }
+
+    /// Write-Record messages at this *target* still awaiting their final
+    /// segment (diagnostic).
+    #[must_use]
+    pub fn records_pending(&self) -> usize {
+        self.inner.rx.records_pending()
+    }
+
+    /// Subscribes this UD QP to a multicast group: sends addressed to
+    /// `UdDest { addr: group, .. }` then reach every member — the
+    /// "multicast capable iWARP" the paper's motivation calls out for
+    /// high-bandwidth media distribution (§IV.A). UD mode only.
+    pub fn join_multicast(&self, group: Addr) -> IwarpResult<()> {
+        match &self.inner.llp {
+            DgLlp::Ud(c) => Ok(c.join_multicast(group)?),
+            DgLlp::Rd(_) => Err(IwarpError::QpState(
+                "multicast is defined for UD QPs only",
+            )),
+        }
+    }
+
+    /// Unsubscribes this UD QP from `group` (no-op on RD).
+    pub fn leave_multicast(&self, group: Addr) {
+        if let DgLlp::Ud(c) = &self.inner.llp {
+            c.leave_multicast(group);
+        }
+    }
+}
+
+impl std::fmt::Debug for DatagramQp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatagramQp")
+            .field("qpn", &self.inner.qpn)
+            .field("addr", &self.local_addr())
+            .field("reliable", &self.is_reliable())
+            .finish()
+    }
+}
+
+impl Drop for DatagramQp {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.rx_thread.take() {
+            let _ = t.join();
+        }
+        self.inner.rx.flush();
+    }
+}
+
+/// RX engine thread body (threaded mode).
+fn rx_loop(inner: &DgInner) {
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        rx_step(inner, Duration::from_millis(5));
+    }
+}
+
+/// One receive-engine iteration: the software stand-in for the RNIC's
+/// receive DMA engine. Shared by the engine thread and poll-mode callers.
+fn rx_step(inner: &DgInner, max_wait: Duration) {
+    let with_crc = true; // mandatory on the datagram path (paper §IV.B.6)
+    match inner.llp.recv_from(max_wait) {
+        Ok((src, dgram)) => match crate::hdr::decode(&dgram, with_crc) {
+            Ok(seg) => {
+                if let Some(action) = inner.rx.handle(src, seg) {
+                    respond(inner, action);
+                }
+            }
+            Err(IwarpError::CrcMismatch) => {
+                inner.rx.stats.crc_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                inner.rx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+        Err(NetError::Timeout) => {}
+        Err(_) => return,
+    }
+    inner.rx.expire();
+}
+
+/// Sends an RDMA Read Response as tagged `ReadResponse` segments.
+fn respond(inner: &DgInner, action: RxAction) {
+    let RxAction::SendReadResponse {
+        dst,
+        sink_stag,
+        sink_to,
+        data,
+        msg_id,
+    } = action;
+    let cap = inner.llp.max_datagram() - TAGGED_HDR_LEN - CRC_LEN;
+    let total = data.len() as u32;
+    let mut off = 0usize;
+    loop {
+        let end = (off + cap).min(data.len());
+        let hdr = TaggedHdr {
+            opcode: RdmapOpcode::ReadResponse,
+            last: end == data.len(),
+            notify: false,
+            stag: sink_stag,
+            to: sink_to + off as u64,
+            base_to: sink_to,
+            total_len: total,
+            src_qpn: inner.qpn,
+            msg_id,
+            imm: 0,
+        };
+        let seg = encode_tagged(&hdr, &data[off..end], true);
+        let _ = inner.llp.send_to(dst, seg);
+        if end == data.len() {
+            break;
+        }
+        off = end;
+    }
+}

@@ -1,0 +1,545 @@
+//! Receive-side protocol core shared by the datagram and RC engines.
+//!
+//! Both QP flavours do the same DDP work on arrival — match untagged
+//! segments to posted receives, steer tagged segments into registered
+//! memory, aggregate Write-Record validity, satisfy read requests — and
+//! differ only in how bytes reach them (datagrams vs the MPA-framed
+//! stream) and how responses leave. [`RxCore::handle`] performs all
+//! placement and completion generation and returns the transport-specific
+//! work (read responses) as [`RxAction`]s for the owning engine to send.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simnet::Addr;
+
+use iwarp_common::validity::ValidityMap;
+
+use crate::buf::{MemoryRegion, MrTable};
+use crate::cq::{Cq, Cqe, CqeOpcode, CqeSource, CqeStatus};
+use crate::hdr::{DdpSegment, RdmapOpcode, ReadRequest, TaggedHdr, UntaggedHdr};
+use crate::qp::QpConfig;
+use crate::wr::RecvWr;
+use crate::wr_record::RecordTable;
+
+/// DDP queue numbers.
+pub const QN_SEND: u32 = 0;
+/// Queue number carrying RDMA Read Requests.
+pub const QN_READ_REQUEST: u32 = 1;
+/// Queue number carrying Terminate messages.
+pub const QN_TERMINATE: u32 = 2;
+
+/// Diagnostics counters for one QP (all relaxed atomics; cheap to keep on).
+#[derive(Debug, Default)]
+pub struct QpStats {
+    /// Segments discarded due to CRC mismatch.
+    pub crc_errors: AtomicU64,
+    /// Segments discarded as malformed.
+    pub malformed: AtomicU64,
+    /// Untagged segments dropped because no receive was posted.
+    pub dropped_no_rq: AtomicU64,
+    /// Posted receives recovered after their message expired.
+    pub expired_recvs: AtomicU64,
+    /// Tagged segments refused by STag/bounds/permission checks.
+    pub access_violations: AtomicU64,
+    /// Read requests refused by permission checks.
+    pub read_denied: AtomicU64,
+    /// Write-Record messages reaped with the final segment missing.
+    pub records_reaped: AtomicU64,
+    /// Segments processed.
+    pub rx_segments: AtomicU64,
+    /// Messages completed (all opcodes).
+    pub rx_messages: AtomicU64,
+}
+
+/// Transport-specific follow-up work produced by [`RxCore::handle`].
+#[derive(Debug)]
+pub enum RxAction {
+    /// Send an RDMA Read Response back to `dst`: `data` read from the
+    /// local source region, to be placed at `(sink_stag, sink_to)` on the
+    /// requester, tagged with the request's `msg_id`.
+    SendReadResponse {
+        /// Requester's address.
+        dst: Addr,
+        /// Requester's sink STag.
+        sink_stag: u32,
+        /// Requester's sink offset.
+        sink_to: u64,
+        /// The data read.
+        data: Bytes,
+        /// Read transaction id (echoed from the request).
+        msg_id: u64,
+    },
+}
+
+/// An untagged message in flight: a consumed receive WR being filled.
+struct PendingRecv {
+    wr: RecvWr,
+    total: u32,
+    src_qpn: u32,
+    validity: ValidityMap,
+    first_seen: Instant,
+    /// Sender requested a solicited event on this message.
+    solicited: bool,
+    /// Set when the message was aborted (too big); remaining segments of
+    /// the same message are ignored without consuming more receives.
+    discard: bool,
+}
+
+/// A pending RDMA Read issued by this QP.
+pub(crate) struct PendingRead {
+    pub wr_id: u64,
+    pub sink: MemoryRegion,
+    pub sink_to: u64,
+    pub len: u32,
+    validity: ValidityMap,
+    first_seen: Instant,
+}
+
+/// The shared receive-side engine state.
+pub(crate) struct RxCore {
+    pub mrs: std::sync::Arc<MrTable>,
+    pub recv_cq: Cq,
+    pub cfg: QpConfig,
+    pub stats: QpStats,
+    /// True when the LLP guarantees delivery (RC, RD): partial receives
+    /// and pending reads must then never expire — every segment will
+    /// arrive eventually, and recycling a receive mid-message would
+    /// corrupt matching.
+    reliable: bool,
+    rq: Mutex<VecDeque<RecvWr>>,
+    pending_recv: Mutex<HashMap<(Addr, u32, u64), PendingRecv>>,
+    records: RecordTable,
+    pending_reads: Mutex<HashMap<u64, PendingRead>>,
+    next_sweep: Mutex<Instant>,
+}
+
+impl RxCore {
+    pub fn new(mrs: std::sync::Arc<MrTable>, recv_cq: Cq, cfg: QpConfig, reliable: bool) -> Self {
+        Self {
+            mrs,
+            recv_cq,
+            records: RecordTable::new(cfg.record_ttl),
+            cfg,
+            stats: QpStats::default(),
+            reliable,
+            rq: Mutex::new(VecDeque::new()),
+            pending_recv: Mutex::new(HashMap::new()),
+            pending_reads: Mutex::new(HashMap::new()),
+            next_sweep: Mutex::new(Instant::now() + Duration::from_millis(50)),
+        }
+    }
+
+    /// Queues a receive work request.
+    pub fn post_recv(&self, wr: RecvWr) {
+        self.rq.lock().push_back(wr);
+    }
+
+    /// Number of receives currently posted (unconsumed).
+    pub fn rq_len(&self) -> usize {
+        self.rq.lock().len()
+    }
+
+    /// Registers a pending RDMA Read awaiting its response.
+    pub fn register_read(&self, msg_id: u64, read: PendingRead) {
+        self.pending_reads.lock().insert(msg_id, read);
+    }
+
+    pub fn new_pending_read(
+        wr_id: u64,
+        sink: MemoryRegion,
+        sink_to: u64,
+        len: u32,
+    ) -> PendingRead {
+        PendingRead {
+            wr_id,
+            sink,
+            sink_to,
+            len,
+            validity: ValidityMap::new(),
+            first_seen: Instant::now(),
+        }
+    }
+
+    /// True when handling this untagged segment right now would drop it
+    /// for lack of a posted receive. On a *reliable* LLP the engine uses
+    /// this to stall the stream instead (TCP backpressure), because a
+    /// reliable connection must never silently lose a message.
+    pub fn would_stall(&self, src: Addr, hdr: &UntaggedHdr) -> bool {
+        if hdr.qn != QN_SEND {
+            return false;
+        }
+        let key = (src, hdr.src_qpn, hdr.msg_id);
+        if self.pending_recv.lock().contains_key(&key) {
+            return false; // continuation of an in-flight message
+        }
+        self.rq.lock().is_empty()
+    }
+
+    /// Processes one decoded DDP segment from `src`.
+    pub fn handle(&self, src: Addr, seg: DdpSegment) -> Option<RxAction> {
+        self.stats.rx_segments.fetch_add(1, Ordering::Relaxed);
+        match seg {
+            DdpSegment::Untagged { hdr, payload } => self.handle_untagged(src, &hdr, &payload),
+            DdpSegment::Tagged { hdr, payload } => {
+                self.handle_tagged(src, &hdr, &payload);
+                None
+            }
+        }
+    }
+
+    fn handle_untagged(
+        &self,
+        src: Addr,
+        hdr: &UntaggedHdr,
+        payload: &Bytes,
+    ) -> Option<RxAction> {
+        match hdr.qn {
+            QN_SEND => {
+                self.place_untagged(src, hdr, payload);
+                None
+            }
+            QN_READ_REQUEST => self.serve_read_request(src, hdr, payload),
+            QN_TERMINATE => None,
+            _ => {
+                self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Untagged (send/recv) placement: match a posted receive, place the
+    /// segment, complete when the whole message has arrived.
+    fn place_untagged(&self, src: Addr, hdr: &UntaggedHdr, payload: &Bytes) {
+        let key = (src, hdr.src_qpn, hdr.msg_id);
+        let mut pending = self.pending_recv.lock();
+        let entry = match pending.get_mut(&key) {
+            Some(e) => e,
+            None => {
+                // New message: consume the next posted receive.
+                let Some(wr) = self.rq.lock().pop_front() else {
+                    self.stats.dropped_no_rq.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let discard = hdr.total_len > wr.len;
+                if discard {
+                    // Buffer too small: complete with an error and mark the
+                    // message so its other segments don't eat more WRs.
+                    self.recv_cq.push(Cqe {
+                        wr_id: wr.wr_id,
+                        opcode: CqeOpcode::Recv,
+                        status: CqeStatus::RecvTooSmall,
+                        byte_len: hdr.total_len,
+                        src: Some(CqeSource {
+                            addr: src,
+                            qpn: hdr.src_qpn,
+                        }),
+                        write_record: None,
+                    imm: None,
+                    solicited: false,
+                    });
+                }
+                pending.insert(
+                    key,
+                    PendingRecv {
+                        wr,
+                        total: hdr.total_len,
+                        src_qpn: hdr.src_qpn,
+                        validity: ValidityMap::new(),
+                        first_seen: Instant::now(),
+                        solicited: hdr.solicited,
+                        discard,
+                    },
+                );
+                pending.get_mut(&key).expect("just inserted")
+            }
+        };
+        if entry.discard {
+            if hdr.last {
+                pending.remove(&key);
+            }
+            return;
+        }
+        let place_at = entry.wr.offset + u64::from(hdr.mo);
+        if entry.wr.mr.write(place_at, payload).is_err() {
+            self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        entry.solicited |= hdr.solicited;
+        entry.validity.record(u64::from(hdr.mo), payload.len() as u64);
+        if entry.validity.covers(u64::from(entry.total)) {
+            let done = pending.remove(&key).expect("present");
+            self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+            self.recv_cq.push(Cqe {
+                wr_id: done.wr.wr_id,
+                opcode: CqeOpcode::Recv,
+                status: CqeStatus::Success,
+                byte_len: done.total,
+                src: Some(CqeSource {
+                    addr: src,
+                    qpn: done.src_qpn,
+                }),
+                write_record: None,
+                imm: None,
+                solicited: done.solicited,
+            });
+        }
+    }
+
+    /// Responds to an incoming RDMA Read Request (we are the responder).
+    fn serve_read_request(
+        &self,
+        src: Addr,
+        hdr: &UntaggedHdr,
+        payload: &Bytes,
+    ) -> Option<RxAction> {
+        let Ok(req) = ReadRequest::decode(payload) else {
+            self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let mr = match self
+            .mrs
+            .lookup_remote_read(req.src_stag, req.src_to, req.len as usize)
+        {
+            Ok(mr) => mr,
+            Err(_) => {
+                self.stats.read_denied.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let data = match mr.read_bytes(req.src_to, req.len as usize) {
+            Ok(d) => d,
+            Err(_) => {
+                self.stats.read_denied.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        Some(RxAction::SendReadResponse {
+            dst: src,
+            sink_stag: req.sink_stag,
+            sink_to: req.sink_to,
+            data,
+            msg_id: hdr.msg_id,
+        })
+    }
+
+    fn handle_tagged(&self, src: Addr, hdr: &TaggedHdr, payload: &Bytes) {
+        match hdr.opcode {
+            RdmapOpcode::WriteRecord | RdmapOpcode::RdmaWrite | RdmapOpcode::RdmaWriteImm => {
+                let mr = match self
+                    .mrs
+                    .lookup_remote_write(hdr.stag, hdr.to, payload.len())
+                {
+                    Ok(mr) => mr,
+                    Err(_) => {
+                        // Datagram semantics: report, do not kill the QP
+                        // (paper §IV.B item 2).
+                        self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                if mr.write(hdr.to, payload).is_err() {
+                    self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if hdr.notify {
+                    if let Some(info) = self.records.ingest(src, hdr, payload.len()) {
+                        let complete = info.is_complete();
+                        let status = if complete {
+                            CqeStatus::Success
+                        } else {
+                            CqeStatus::Partial
+                        };
+                        if hdr.opcode == RdmapOpcode::RdmaWriteImm {
+                            // InfiniBand semantics: the immediate consumes
+                            // a posted receive. Without one, the data is
+                            // placed but the notification is lost — the
+                            // exact cost Write-Record avoids (§IV.B.3).
+                            let Some(wr) = self.rq.lock().pop_front() else {
+                                self.stats.dropped_no_rq.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            };
+                            self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+                            self.recv_cq.push(Cqe {
+                                wr_id: wr.wr_id,
+                                opcode: CqeOpcode::Recv,
+                                status,
+                                byte_len: info.valid_bytes() as u32,
+                                src: Some(CqeSource {
+                                    addr: src,
+                                    qpn: hdr.src_qpn,
+                                }),
+                                write_record: Some(info),
+                                imm: Some(hdr.imm),
+                                solicited: true,
+                            });
+                            return;
+                        }
+                        self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+                        self.recv_cq.push(Cqe {
+                            // No WR was consumed: Write-Record is truly
+                            // one-sided (paper §IV.B.3).
+                            wr_id: 0,
+                            opcode: CqeOpcode::WriteRecord,
+                            status,
+                            byte_len: info.valid_bytes() as u32,
+                            src: Some(CqeSource {
+                                addr: src,
+                                qpn: hdr.src_qpn,
+                            }),
+                            write_record: Some(info),
+                            imm: None,
+                            solicited: false,
+                        });
+                    }
+                }
+            }
+            RdmapOpcode::ReadResponse => self.place_read_response(hdr, payload),
+            _ => {
+                self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Places an RDMA Read Response segment into the pending read's sink.
+    fn place_read_response(&self, hdr: &TaggedHdr, payload: &Bytes) {
+        let mut reads = self.pending_reads.lock();
+        let Some(pr) = reads.get_mut(&hdr.msg_id) else {
+            return; // duplicate/late response
+        };
+        // The response must target the sink we registered for this read.
+        if hdr.stag != pr.sink.stag()
+            || hdr.to < pr.sink_to
+            || hdr.to + payload.len() as u64 > pr.sink_to + u64::from(pr.len)
+        {
+            self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if pr.sink.write(hdr.to, payload).is_err() {
+            self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        pr.validity.record(hdr.to - pr.sink_to, payload.len() as u64);
+        if pr.validity.covers(u64::from(pr.len)) {
+            let done = reads.remove(&hdr.msg_id).expect("present");
+            self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+            self.recv_cq.push(Cqe {
+                wr_id: done.wr_id,
+                opcode: CqeOpcode::RdmaRead,
+                status: CqeStatus::Success,
+                byte_len: done.len,
+                src: None,
+                write_record: None,
+            imm: None,
+            solicited: false,
+            });
+        }
+    }
+
+    /// Reaps expired partial receives (recovering their buffers with an
+    /// `Expired` completion), expired pending reads, and stale
+    /// Write-Record state. Self-throttled to one sweep per 50 ms, so it is
+    /// cheap to call from every engine iteration.
+    pub fn expire(&self) {
+        let now = Instant::now();
+        {
+            let mut next = self.next_sweep.lock();
+            if now < *next {
+                return;
+            }
+            *next = now + Duration::from_millis(50);
+        }
+        if self.reliable {
+            // Reliable LLP: everything in flight will complete; only the
+            // Write-Record table (shared semantics) still GCs.
+            let gc = self.records.gc();
+            if gc.reaped > 0 {
+                self.stats
+                    .records_reaped
+                    .fetch_add(gc.reaped, Ordering::Relaxed);
+            }
+            return;
+        }
+        {
+            let mut pending = self.pending_recv.lock();
+            let ttl = self.cfg.recv_ttl;
+            let expired: Vec<_> = pending
+                .iter()
+                .filter(|(_, p)| now.duration_since(p.first_seen) > ttl)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in expired {
+                let p = pending.remove(&key).expect("present");
+                self.stats.expired_recvs.fetch_add(1, Ordering::Relaxed);
+                if !p.discard {
+                    self.recv_cq.push(Cqe {
+                        wr_id: p.wr.wr_id,
+                        opcode: CqeOpcode::Recv,
+                        status: CqeStatus::Expired,
+                        byte_len: p.validity.valid_bytes() as u32,
+                        src: Some(CqeSource {
+                            addr: key.0,
+                            qpn: p.src_qpn,
+                        }),
+                        write_record: None,
+                    imm: None,
+                    solicited: false,
+                    });
+                }
+            }
+        }
+        {
+            let mut reads = self.pending_reads.lock();
+            let ttl = self.cfg.read_ttl;
+            let expired: Vec<u64> = reads
+                .iter()
+                .filter(|(_, p)| now.duration_since(p.first_seen) > ttl)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in expired {
+                let p = reads.remove(&key).expect("present");
+                self.recv_cq.push(Cqe {
+                    wr_id: p.wr_id,
+                    opcode: CqeOpcode::RdmaRead,
+                    status: CqeStatus::Expired,
+                    byte_len: p.validity.valid_bytes() as u32,
+                    src: None,
+                    write_record: None,
+                imm: None,
+                solicited: false,
+                });
+            }
+        }
+        let gc = self.records.gc();
+        if gc.reaped > 0 {
+            self.stats
+                .records_reaped
+                .fetch_add(gc.reaped, Ordering::Relaxed);
+        }
+    }
+
+    /// Flushes all posted receives with `Flushed` status (QP teardown).
+    pub fn flush(&self) {
+        let mut rq = self.rq.lock();
+        while let Some(wr) = rq.pop_front() {
+            self.recv_cq.push(Cqe {
+                wr_id: wr.wr_id,
+                opcode: CqeOpcode::Recv,
+                status: CqeStatus::Flushed,
+                byte_len: 0,
+                src: None,
+                write_record: None,
+            imm: None,
+            solicited: false,
+            });
+        }
+    }
+
+    /// Write-Record messages currently awaiting their final segment.
+    pub fn records_pending(&self) -> usize {
+        self.records.pending()
+    }
+}

@@ -1,0 +1,397 @@
+//! `DgramConduit` — the UDP-equivalent unreliable datagram service.
+//!
+//! Semantics mirror kernel UDP as the paper relies on them:
+//!
+//! * datagrams up to [`MAX_DATAGRAM`] (64 KiB minus headers);
+//! * datagrams larger than the wire MTU are fragmented into MTU-sized wire
+//!   packets and reassembled at the receiver **all-or-nothing** — "any loss
+//!   of the smaller packets making up this large UDP packet results in the
+//!   entire (up to 64KB) message being dropped" (paper §VI.A.2);
+//! * no delivery, ordering or duplication guarantees;
+//! * receive is timeout-based.
+//!
+//! The UDP checksum is deliberately *not* computed: the paper recommends
+//! disabling UDP-level CRC because datagram-iWARP's DDP layer always
+//! carries its own CRC32 (§V).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use bytes::{BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use crate::error::{NetError, NetResult};
+use crate::fabric::{Endpoint, Fabric};
+use crate::wire::{Addr, NodeId};
+
+/// Wire-packet protocol discriminator for datagram fragments.
+pub const PROTO_DGRAM: u8 = 0x01;
+
+/// Fragment header: proto(1) + dgram_id(4) + frag_index(2) + frag_count(2)
+/// + total_len(4).
+pub const FRAG_HEADER: usize = 13;
+
+/// Maximum datagram payload (the classic UDP limit: 65 535 minus IP/UDP
+/// headers).
+pub const MAX_DATAGRAM: usize = 65_507;
+
+/// How long a partially reassembled datagram is kept before being reaped
+/// (the kernel's `ipfrag_time` analog, scaled down for tests).
+const REASSEMBLY_TTL: Duration = Duration::from_secs(3);
+
+struct Partial {
+    total_len: u32,
+    frag_count: u16,
+    received_mask: Vec<bool>,
+    received: u16,
+    buf: BytesMut,
+    /// Bytes actually written so far (frags can arrive out of order; the
+    /// buffer is pre-sized and offsets computed from the index).
+    created: Instant,
+}
+
+struct Reassembly {
+    partials: HashMap<(Addr, u32), Partial>,
+    last_gc: Instant,
+}
+
+/// Unreliable datagram endpoint over a [`Fabric`].
+pub struct DgramConduit {
+    ep: Endpoint,
+    next_id: Mutex<u32>,
+    reasm: Mutex<Reassembly>,
+    /// Fragment payload capacity per wire packet.
+    frag_payload: usize,
+}
+
+impl DgramConduit {
+    /// Binds a datagram conduit at `addr`.
+    pub fn bind(fabric: &Fabric, addr: Addr) -> NetResult<Self> {
+        Ok(Self::from_endpoint(fabric.bind(addr)?))
+    }
+
+    /// Binds at an ephemeral port on `node`.
+    pub fn bind_ephemeral(fabric: &Fabric, node: NodeId) -> NetResult<Self> {
+        Ok(Self::from_endpoint(fabric.bind_ephemeral(node)?))
+    }
+
+    fn from_endpoint(ep: Endpoint) -> Self {
+        let frag_payload = ep.mtu() - FRAG_HEADER;
+        Self {
+            ep,
+            next_id: Mutex::new(1),
+            reasm: Mutex::new(Reassembly {
+                partials: HashMap::new(),
+                last_gc: Instant::now(),
+            }),
+            frag_payload,
+        }
+    }
+
+    /// Local address.
+    #[must_use]
+    pub fn local_addr(&self) -> Addr {
+        self.ep.local_addr()
+    }
+
+    /// Largest datagram this conduit accepts.
+    #[must_use]
+    pub fn max_datagram(&self) -> usize {
+        MAX_DATAGRAM
+    }
+
+    /// Wire MTU under this conduit (payload bytes per fragment is smaller
+    /// by the fragment header).
+    #[must_use]
+    pub fn mtu(&self) -> usize {
+        self.ep.mtu()
+    }
+
+    /// Sends one datagram to `dst`, fragmenting as needed. Unreliable:
+    /// success only means the datagram was handed to the wire.
+    pub fn send_to(&self, dst: Addr, payload: Bytes) -> NetResult<()> {
+        if payload.len() > MAX_DATAGRAM {
+            return Err(NetError::TooBig {
+                len: payload.len(),
+                max: MAX_DATAGRAM,
+            });
+        }
+        let id = {
+            let mut g = self.next_id.lock();
+            let id = *g;
+            *g = g.wrapping_add(1);
+            id
+        };
+        let total_len = payload.len() as u32;
+        let frag_count = payload.len().div_ceil(self.frag_payload).max(1) as u16;
+        for idx in 0..frag_count {
+            let start = usize::from(idx) * self.frag_payload;
+            let end = (start + self.frag_payload).min(payload.len());
+            let mut pkt = BytesMut::with_capacity(FRAG_HEADER + (end - start));
+            pkt.put_u8(PROTO_DGRAM);
+            pkt.put_u32(id);
+            pkt.put_u16(idx);
+            pkt.put_u16(frag_count);
+            pkt.put_u32(total_len);
+            pkt.extend_from_slice(&payload[start..end]);
+            self.ep.send_to(dst, pkt.freeze())?;
+        }
+        Ok(())
+    }
+
+    /// Receives the next complete datagram, blocking up to `timeout`
+    /// (`None` = indefinitely). Returns the sender's address and payload.
+    ///
+    /// A zero timeout performs a non-blocking drain of already-queued wire
+    /// packets (the poll-mode fast path) before reporting `Timeout`.
+    pub fn recv_from(&self, timeout: Option<Duration>) -> NetResult<(Addr, Bytes)> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            // Drain queued packets without blocking first, so zero-timeout
+            // polling still makes progress.
+            loop {
+                match self.ep.try_recv() {
+                    Ok(pkt) => {
+                        if let Some(done) = self.ingest(pkt.src, &pkt.payload) {
+                            return Ok(done);
+                        }
+                    }
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            let remaining = match deadline {
+                None => None,
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(NetError::Timeout);
+                    }
+                    Some(d - now)
+                }
+            };
+            let pkt = self.ep.recv(remaining)?;
+            if let Some(done) = self.ingest(pkt.src, &pkt.payload) {
+                return Ok(done);
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`recv_from`](Self::recv_from).
+    pub fn try_recv_from(&self) -> NetResult<(Addr, Bytes)> {
+        loop {
+            let pkt = self.ep.try_recv()?;
+            if let Some(done) = self.ingest(pkt.src, &pkt.payload) {
+                return Ok(done);
+            }
+        }
+    }
+
+    /// Feeds one wire packet into reassembly; returns a completed datagram
+    /// if this fragment finished one.
+    fn ingest(&self, src: Addr, payload: &[u8]) -> Option<(Addr, Bytes)> {
+        if payload.len() < FRAG_HEADER || payload[0] != PROTO_DGRAM {
+            return None; // not ours; ignore (wire noise)
+        }
+        let id = u32::from_be_bytes(payload[1..5].try_into().ok()?);
+        let idx = u16::from_be_bytes(payload[5..7].try_into().ok()?);
+        let cnt = u16::from_be_bytes(payload[7..9].try_into().ok()?);
+        let total_len = u32::from_be_bytes(payload[9..13].try_into().ok()?);
+        let body = &payload[FRAG_HEADER..];
+        if cnt == 0 || idx >= cnt || total_len as usize > MAX_DATAGRAM {
+            return None; // malformed
+        }
+        if cnt == 1 {
+            // Fast path: unfragmented datagram.
+            return Some((src, Bytes::copy_from_slice(body)));
+        }
+
+        let mut g = self.reasm.lock();
+        let now = Instant::now();
+        if now.duration_since(g.last_gc) > REASSEMBLY_TTL {
+            g.partials
+                .retain(|_, p| now.duration_since(p.created) <= REASSEMBLY_TTL);
+            g.last_gc = now;
+        }
+        let key = (src, id);
+        let frag_payload = self.frag_payload;
+        let p = g.partials.entry(key).or_insert_with(|| {
+            let mut buf = BytesMut::new();
+            buf.resize(total_len as usize, 0);
+            Partial {
+                total_len,
+                frag_count: cnt,
+                received_mask: vec![false; usize::from(cnt)],
+                received: 0,
+                buf,
+                created: now,
+            }
+        });
+        if p.frag_count != cnt || p.total_len != total_len {
+            // Conflicting metadata for the same id — drop the partial.
+            g.partials.remove(&key);
+            return None;
+        }
+        let i = usize::from(idx);
+        if p.received_mask[i] {
+            return None; // duplicate fragment
+        }
+        let start = i * frag_payload;
+        let end = (start + body.len()).min(p.buf.len());
+        if end - start != body.len() {
+            // Length inconsistent with the advertised total; discard.
+            g.partials.remove(&key);
+            return None;
+        }
+        p.buf[start..end].copy_from_slice(body);
+        p.received_mask[i] = true;
+        p.received += 1;
+        if p.received == p.frag_count {
+            let done = g.partials.remove(&key).expect("present");
+            return Some((src, done.buf.freeze()));
+        }
+        None
+    }
+
+    /// Number of incomplete datagrams currently awaiting fragments.
+    #[must_use]
+    pub fn pending_partials(&self) -> usize {
+        self.reasm.lock().partials.len()
+    }
+
+    /// Subscribes this conduit to a multicast group: datagrams sent to the
+    /// group address are received here like unicast ones (each member
+    /// reassembles fragments independently).
+    pub fn join_multicast(&self, group: Addr) -> NetResult<()> {
+        self.ep.join_multicast(group)
+    }
+
+    /// Unsubscribes from `group`.
+    pub fn leave_multicast(&self, group: Addr) {
+        self.ep.leave_multicast(group);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireConfig;
+
+    fn pair(fab: &Fabric) -> (DgramConduit, DgramConduit) {
+        let a = DgramConduit::bind(fab, Addr::new(0, 100)).unwrap();
+        let b = DgramConduit::bind(fab, Addr::new(1, 100)).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn small_datagram_roundtrip() {
+        let fab = Fabric::loopback();
+        let (a, b) = pair(&fab);
+        a.send_to(b.local_addr(), Bytes::from_static(b"hello")).unwrap();
+        let (src, data) = b.recv_from(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(src, a.local_addr());
+        assert_eq!(&data[..], b"hello");
+    }
+
+    #[test]
+    fn empty_datagram() {
+        let fab = Fabric::loopback();
+        let (a, b) = pair(&fab);
+        a.send_to(b.local_addr(), Bytes::new()).unwrap();
+        let (_, data) = b.recv_from(Some(Duration::from_secs(1))).unwrap();
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn fragmented_datagram_roundtrip() {
+        let fab = Fabric::loopback();
+        let (a, b) = pair(&fab);
+        let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+        a.send_to(b.local_addr(), Bytes::from(payload.clone())).unwrap();
+        let (_, data) = b.recv_from(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(&data[..], &payload[..]);
+    }
+
+    #[test]
+    fn max_datagram_roundtrip() {
+        let fab = Fabric::loopback();
+        let (a, b) = pair(&fab);
+        let payload = vec![0x5Au8; MAX_DATAGRAM];
+        a.send_to(b.local_addr(), Bytes::from(payload.clone())).unwrap();
+        let (_, data) = b.recv_from(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(data.len(), MAX_DATAGRAM);
+        assert_eq!(&data[..], &payload[..]);
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let fab = Fabric::loopback();
+        let (a, b) = pair(&fab);
+        let err = a
+            .send_to(b.local_addr(), Bytes::from(vec![0u8; MAX_DATAGRAM + 1]))
+            .unwrap_err();
+        assert!(matches!(err, NetError::TooBig { .. }));
+    }
+
+    #[test]
+    fn interleaved_fragments_from_two_senders() {
+        let fab = Fabric::loopback();
+        let a = DgramConduit::bind(&fab, Addr::new(0, 1)).unwrap();
+        let c = DgramConduit::bind(&fab, Addr::new(2, 1)).unwrap();
+        let b = DgramConduit::bind(&fab, Addr::new(1, 1)).unwrap();
+        let pa = vec![0xAAu8; 5000];
+        let pc = vec![0xCCu8; 5000];
+        a.send_to(b.local_addr(), Bytes::from(pa.clone())).unwrap();
+        c.send_to(b.local_addr(), Bytes::from(pc.clone())).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let (src, data) = b.recv_from(Some(Duration::from_secs(1))).unwrap();
+            got.push((src, data));
+        }
+        got.sort_by_key(|(src, _)| *src);
+        assert_eq!(&got[0].1[..], &pa[..]);
+        assert_eq!(&got[1].1[..], &pc[..]);
+    }
+
+    #[test]
+    fn fragment_loss_drops_whole_datagram() {
+        // 10% per-packet loss; 40-fragment datagrams survive with
+        // p ≈ 0.9^40 ≈ 1.5% — expect the vast majority to vanish entirely,
+        // and *no* corrupted/partial delivery.
+        let fab = Fabric::new(WireConfig::with_loss(0.10, 11));
+        let (a, b) = pair(&fab);
+        let payload: Vec<u8> = (0..59_000u32).map(|i| (i % 251) as u8).collect();
+        let n = 50;
+        for _ in 0..n {
+            a.send_to(b.local_addr(), Bytes::from(payload.clone())).unwrap();
+        }
+        let mut delivered = 0;
+        while let Ok((_, data)) = b.recv_from(Some(Duration::from_millis(50))) {
+            assert_eq!(&data[..], &payload[..], "partial delivery leaked");
+            delivered += 1;
+        }
+        assert!(delivered < n / 2, "delivered {delivered}/{n}");
+    }
+
+    #[test]
+    fn recv_timeout() {
+        let fab = Fabric::loopback();
+        let (_a, b) = pair(&fab);
+        let err = b.recv_from(Some(Duration::from_millis(10))).unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn duplicate_fragment_ignored() {
+        // Send the same single-fragment datagram twice: two deliveries
+        // (UDP duplicates are the app's problem), but duplicated *fragments*
+        // of a multi-fragment datagram must not corrupt reassembly.
+        let fab = Fabric::loopback();
+        let (a, b) = pair(&fab);
+        let payload = vec![1u8; 4000];
+        a.send_to(b.local_addr(), Bytes::from(payload.clone())).unwrap();
+        let (_, d1) = b.recv_from(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(d1.len(), 4000);
+        assert_eq!(b.pending_partials(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for the simulated network.
+
+use std::fmt;
+
+/// Errors returned by fabric endpoints and conduits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// A blocking receive (or connect) exceeded its deadline.
+    ///
+    /// Datagram-iWARP *requires* timeout-based completion polling (paper
+    /// §IV.B.1) because a lost datagram means the awaited data may never
+    /// arrive; this variant is how that surfaces.
+    Timeout,
+    /// The peer closed the connection / the endpoint was shut down.
+    Closed,
+    /// Payload exceeds the service's maximum transfer size.
+    TooBig {
+        /// Requested payload length.
+        len: usize,
+        /// Maximum the service accepts.
+        max: usize,
+    },
+    /// The address is already bound on this fabric.
+    AddrInUse(crate::wire::Addr),
+    /// No endpoint is bound at the destination address.
+    Unreachable(crate::wire::Addr),
+    /// A protocol violation (unexpected segment, bad handshake, ...).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Timeout => write!(f, "operation timed out"),
+            NetError::Closed => write!(f, "endpoint closed"),
+            NetError::TooBig { len, max } => {
+                write!(f, "payload of {len} bytes exceeds maximum of {max}")
+            }
+            NetError::AddrInUse(a) => write!(f, "address {a} already in use"),
+            NetError::Unreachable(a) => write!(f, "address {a} unreachable"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias.
+pub type NetResult<T> = Result<T, NetError>;

@@ -1,0 +1,633 @@
+//! The in-memory switch connecting wire endpoints.
+//!
+//! A [`Fabric`] plays the role of the paper's testbed network: NICs, the
+//! 10GbE switch, and the `tc` loss-injection queue. Endpoints bind
+//! [`Addr`]esses and exchange [`WirePacket`]s of at most one MTU; the
+//! fabric applies the configured loss model, propagation delay, and
+//! link-rate pacing to every packet independently — exactly the layer at
+//! which the paper's FIFO drop queue operates.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::SmallRng;
+
+use iwarp_common::rng::small_rng;
+
+use crate::error::{NetError, NetResult};
+use crate::loss::LossState;
+use crate::wire::{Addr, NodeId, WireConfig, WirePacket, WIRE_HEADER_BYTES};
+
+/// Counters describing fabric activity — used by tests to verify loss
+/// rates and by the harness to report wire-level statistics.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Packets handed to the fabric for transmission.
+    pub tx_packets: AtomicU64,
+    /// Payload bytes handed to the fabric.
+    pub tx_bytes: AtomicU64,
+    /// Packets dropped by the loss model.
+    pub dropped_loss: AtomicU64,
+    /// Packets dropped because no endpoint was bound at the destination.
+    pub dropped_unreachable: AtomicU64,
+    /// Packets delivered to a bound endpoint.
+    pub delivered: AtomicU64,
+}
+
+impl FabricStats {
+    /// Fraction of transmitted packets dropped by the loss model.
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        let tx = self.tx_packets.load(Ordering::Relaxed);
+        if tx == 0 {
+            return 0.0;
+        }
+        self.dropped_loss.load(Ordering::Relaxed) as f64 / tx as f64
+    }
+}
+
+struct DelayedPacket {
+    due: Instant,
+    seq: u64,
+    pkt: WirePacket,
+}
+
+impl PartialEq for DelayedPacket {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedPacket {}
+impl PartialOrd for DelayedPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
+        other
+            .due
+            .cmp(&self.due)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct DelayLine {
+    queue: Mutex<BinaryHeap<DelayedPacket>>,
+    cv: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+struct FabricInner {
+    cfg: WireConfig,
+    endpoints: RwLock<HashMap<Addr, Sender<WirePacket>>>,
+    /// Multicast groups: group address → member endpoint addresses.
+    groups: RwLock<HashMap<Addr, Vec<Addr>>>,
+    loss: Mutex<(SmallRng, LossState)>,
+    stats: FabricStats,
+    next_ephemeral: AtomicU32,
+    delay_seq: AtomicU64,
+    /// Next instant each node's egress link is free, for serialization
+    /// pacing (links are full-duplex: each node paces its own TX).
+    link_free_at: Mutex<HashMap<crate::wire::NodeId, Instant>>,
+    delay_line: Option<Arc<DelayLine>>,
+}
+
+/// A shared handle to the simulated network. Cloning is cheap; all clones
+/// refer to the same switch.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given link configuration.
+    #[must_use]
+    pub fn new(cfg: WireConfig) -> Self {
+        let delay_line = if cfg.latency > Duration::ZERO {
+            Some(Arc::new(DelayLine::default()))
+        } else {
+            None
+        };
+        let inner = Arc::new(FabricInner {
+            loss: Mutex::new((small_rng(cfg.seed), LossState::default())),
+            cfg,
+            endpoints: RwLock::new(HashMap::new()),
+            groups: RwLock::new(HashMap::new()),
+            stats: FabricStats::default(),
+            next_ephemeral: AtomicU32::new(49_152),
+            delay_seq: AtomicU64::new(0),
+            link_free_at: Mutex::new(HashMap::new()),
+            delay_line,
+        });
+        if let Some(dl) = &inner.delay_line {
+            let dl = Arc::clone(dl);
+            let weak = Arc::downgrade(&inner);
+            std::thread::Builder::new()
+                .name("simnet-delay".into())
+                .spawn(move || delay_pump(&dl, &weak))
+                .expect("spawn delay-line thread");
+        }
+        Self { inner }
+    }
+
+    /// Creates a fabric with all-default, loss-free, unpaced links —
+    /// the configuration used by most tests.
+    #[must_use]
+    pub fn loopback() -> Self {
+        Self::new(WireConfig::default())
+    }
+
+    /// This fabric's link configuration.
+    #[must_use]
+    pub fn config(&self) -> &WireConfig {
+        &self.inner.cfg
+    }
+
+    /// Wire-level statistics.
+    #[must_use]
+    pub fn stats(&self) -> &FabricStats {
+        &self.inner.stats
+    }
+
+    /// Binds an endpoint at `addr`. Fails with [`NetError::AddrInUse`] if
+    /// the address is taken.
+    pub fn bind(&self, addr: Addr) -> NetResult<Endpoint> {
+        let (tx, rx) = unbounded();
+        {
+            let mut eps = self.inner.endpoints.write();
+            if eps.contains_key(&addr) {
+                return Err(NetError::AddrInUse(addr));
+            }
+            eps.insert(addr, tx);
+        }
+        Ok(Endpoint {
+            fabric: self.clone(),
+            addr,
+            rx,
+        })
+    }
+
+    /// Binds an endpoint on `node` at a fresh ephemeral port.
+    pub fn bind_ephemeral(&self, node: NodeId) -> NetResult<Endpoint> {
+        loop {
+            let port = (self.inner.next_ephemeral.fetch_add(1, Ordering::Relaxed) % 65_536) as u16;
+            let addr = Addr { node, port };
+            match self.bind(addr) {
+                Ok(ep) => return Ok(ep),
+                Err(NetError::AddrInUse(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// True when some endpoint is bound at `addr`.
+    #[must_use]
+    pub fn is_bound(&self, addr: Addr) -> bool {
+        self.inner.endpoints.read().contains_key(&addr)
+    }
+
+    fn unbind(&self, addr: Addr) {
+        self.inner.endpoints.write().remove(&addr);
+        for members in self.inner.groups.write().values_mut() {
+            members.retain(|m| *m != addr);
+        }
+    }
+
+    /// The node id reserved for multicast group addresses: packets sent to
+    /// `Addr { node: MCAST_NODE, port: group }` fan out to every member.
+    pub const MCAST_NODE: NodeId = NodeId(0xFFFF);
+
+    /// True when `addr` names a multicast group rather than an endpoint.
+    #[must_use]
+    pub fn is_multicast(addr: Addr) -> bool {
+        addr.node == Self::MCAST_NODE
+    }
+
+    /// Subscribes the endpoint bound at `member` to `group` (idempotent).
+    pub fn join_multicast(&self, group: Addr, member: Addr) -> NetResult<()> {
+        if !Self::is_multicast(group) {
+            return Err(NetError::Protocol("not a multicast address"));
+        }
+        let mut groups = self.inner.groups.write();
+        let members = groups.entry(group).or_default();
+        if !members.contains(&member) {
+            members.push(member);
+        }
+        Ok(())
+    }
+
+    /// Removes `member` from `group`.
+    pub fn leave_multicast(&self, group: Addr, member: Addr) {
+        if let Some(members) = self.inner.groups.write().get_mut(&group) {
+            members.retain(|m| *m != member);
+        }
+    }
+
+    /// Transmits one wire packet. Applies pacing, loss and latency, then
+    /// delivers to the destination endpoint's queue. Undeliverable packets
+    /// vanish silently (UDP semantics); loss and unreachability are counted
+    /// in [`FabricStats`].
+    fn transmit(&self, pkt: WirePacket) -> NetResult<()> {
+        let cfg = &self.inner.cfg;
+        if pkt.payload.len() > cfg.mtu {
+            return Err(NetError::TooBig {
+                len: pkt.payload.len(),
+                max: cfg.mtu,
+            });
+        }
+        let stats = &self.inner.stats;
+        stats.tx_packets.fetch_add(1, Ordering::Relaxed);
+        stats
+            .tx_bytes
+            .fetch_add(pkt.payload.len() as u64, Ordering::Relaxed);
+
+        // Serialization-delay pacing: the shared link transmits one packet
+        // at a time at `bandwidth_bps`.
+        if cfg.bandwidth_bps > 0 {
+            let wire_bits = ((pkt.payload.len() + WIRE_HEADER_BYTES) * 8) as u64;
+            let tx_nanos = wire_bits
+                .saturating_mul(1_000_000_000)
+                .checked_div(cfg.bandwidth_bps)
+                .unwrap_or(0);
+            let tx_time = Duration::from_nanos(tx_nanos);
+            let until = {
+                let mut links = self.inner.link_free_at.lock();
+                let now = Instant::now();
+                let free_at = links.entry(pkt.src.node).or_insert(now);
+                let start = (*free_at).max(now);
+                *free_at = start + tx_time;
+                *free_at
+            };
+            precise_wait_until(until);
+        }
+
+        // Loss injection (the `tc` drop queue analog).
+        {
+            let mut guard = self.inner.loss.lock();
+            let (rng, state) = &mut *guard;
+            if state.should_drop(&cfg.loss, rng) {
+                stats.dropped_loss.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+
+        if let Some(dl) = &self.inner.delay_line {
+            let due = Instant::now() + cfg.latency;
+            let seq = self.inner.delay_seq.fetch_add(1, Ordering::Relaxed);
+            dl.queue.lock().push(DelayedPacket { due, seq, pkt });
+            dl.cv.notify_one();
+            return Ok(());
+        }
+        self.deliver(pkt);
+        Ok(())
+    }
+
+    fn deliver(&self, pkt: WirePacket) {
+        // Multicast fan-out: one wire packet reaches every group member
+        // (the switch replicates, as IGMP-snooping Ethernet switches do).
+        if Self::is_multicast(pkt.dst) {
+            let members = self
+                .inner
+                .groups
+                .read()
+                .get(&pkt.dst)
+                .cloned()
+                .unwrap_or_default();
+            let eps = self.inner.endpoints.read();
+            let mut any = false;
+            for m in members {
+                if let Some(tx) = eps.get(&m) {
+                    if tx.send(pkt.clone()).is_ok() {
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.inner
+                    .stats
+                    .dropped_unreachable
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let eps = self.inner.endpoints.read();
+        if let Some(tx) = eps.get(&pkt.dst) {
+            if tx.send(pkt).is_ok() {
+                self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.inner
+            .stats
+            .dropped_unreachable
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for FabricInner {
+    fn drop(&mut self) {
+        if let Some(dl) = &self.delay_line {
+            *dl.shutdown.lock() = true;
+            dl.cv.notify_all();
+        }
+    }
+}
+
+/// Pump thread for latency emulation: delivers packets when their
+/// propagation delay has elapsed.
+fn delay_pump(dl: &DelayLine, fabric: &std::sync::Weak<FabricInner>) {
+    loop {
+        let mut ready = Vec::new();
+        {
+            let mut q = dl.queue.lock();
+            loop {
+                if *dl.shutdown.lock() {
+                    return;
+                }
+                let now = Instant::now();
+                match q.peek() {
+                    Some(head) if head.due <= now => {
+                        while let Some(head) = q.peek() {
+                            if head.due <= now {
+                                ready.push(q.pop().expect("peeked").pkt);
+                            } else {
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                    Some(head) => {
+                        let wait = head.due - now;
+                        if wait <= Duration::from_micros(200) {
+                            // OS timer slack (~50 µs) would dominate short
+                            // propagation delays; spin out the remainder.
+                            let due = head.due;
+                            drop(q);
+                            precise_wait_until(due);
+                            q = dl.queue.lock();
+                        } else {
+                            dl.cv.wait_for(&mut q, wait);
+                        }
+                    }
+                    None => {
+                        dl.cv.wait_for(&mut q, Duration::from_millis(50));
+                    }
+                }
+            }
+        }
+        let Some(inner) = fabric.upgrade() else { return };
+        let fab = Fabric { inner };
+        for pkt in ready {
+            fab.deliver(pkt);
+        }
+    }
+}
+
+/// Sleeps until `deadline` with microsecond-ish precision: OS sleep for the
+/// bulk, spin for the tail (OS sleep granularity is far coarser than the
+/// 1.2 µs serialization time of a 1500-byte packet at 10 Gbit/s).
+fn precise_wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(200) {
+            std::thread::sleep(remaining - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// A bound wire endpoint: the raw "NIC queue" interface. Upper layers
+/// (datagram/stream conduits) build services on top of this.
+pub struct Endpoint {
+    fabric: Fabric,
+    addr: Addr,
+    rx: Receiver<WirePacket>,
+}
+
+impl Endpoint {
+    /// The address this endpoint is bound to.
+    #[must_use]
+    pub fn local_addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The fabric this endpoint belongs to.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Maximum payload of a single wire packet.
+    #[must_use]
+    pub fn mtu(&self) -> usize {
+        self.fabric.inner.cfg.mtu
+    }
+
+    /// Sends one wire packet (≤ MTU bytes) to `dst`.
+    pub fn send_to(&self, dst: Addr, payload: Bytes) -> NetResult<()> {
+        self.fabric.transmit(WirePacket {
+            src: self.addr,
+            dst,
+            payload,
+        })
+    }
+
+    /// Receives the next wire packet, blocking at most `timeout`
+    /// (`None` = block indefinitely).
+    pub fn recv(&self, timeout: Option<Duration>) -> NetResult<WirePacket> {
+        match timeout {
+            None => self.rx.recv().map_err(|_| NetError::Closed),
+            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                crossbeam_channel::RecvTimeoutError::Timeout => NetError::Timeout,
+                crossbeam_channel::RecvTimeoutError::Disconnected => NetError::Closed,
+            }),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> NetResult<WirePacket> {
+        self.rx.try_recv().map_err(|e| match e {
+            crossbeam_channel::TryRecvError::Empty => NetError::Timeout,
+            crossbeam_channel::TryRecvError::Disconnected => NetError::Closed,
+        })
+    }
+
+    /// Number of packets waiting in the receive queue.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Subscribes this endpoint to a multicast `group`.
+    pub fn join_multicast(&self, group: Addr) -> NetResult<()> {
+        self.fabric.join_multicast(group, self.addr)
+    }
+
+    /// Unsubscribes this endpoint from `group`.
+    pub fn leave_multicast(&self, group: Addr) {
+        self.fabric.leave_multicast(group, self.addr);
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.fabric.unbind(self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt_bytes(n: usize) -> Bytes {
+        Bytes::from(vec![0xABu8; n])
+    }
+
+    #[test]
+    fn bind_send_recv() {
+        let fab = Fabric::loopback();
+        let a = fab.bind(Addr::new(0, 10)).unwrap();
+        let b = fab.bind(Addr::new(1, 20)).unwrap();
+        a.send_to(b.local_addr(), pkt_bytes(100)).unwrap();
+        let p = b.recv(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(p.src, a.local_addr());
+        assert_eq!(p.payload.len(), 100);
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let fab = Fabric::loopback();
+        let _a = fab.bind(Addr::new(0, 10)).unwrap();
+        assert!(matches!(
+            fab.bind(Addr::new(0, 10)),
+            Err(NetError::AddrInUse(_))
+        ));
+    }
+
+    #[test]
+    fn rebind_after_drop() {
+        let fab = Fabric::loopback();
+        let addr = Addr::new(0, 10);
+        drop(fab.bind(addr).unwrap());
+        assert!(fab.bind(addr).is_ok());
+    }
+
+    #[test]
+    fn oversized_packet_rejected() {
+        let fab = Fabric::loopback();
+        let a = fab.bind(Addr::new(0, 1)).unwrap();
+        let err = a.send_to(Addr::new(0, 2), pkt_bytes(1501)).unwrap_err();
+        assert!(matches!(err, NetError::TooBig { len: 1501, max: 1500 }));
+    }
+
+    #[test]
+    fn unreachable_counts_but_succeeds() {
+        let fab = Fabric::loopback();
+        let a = fab.bind(Addr::new(0, 1)).unwrap();
+        a.send_to(Addr::new(9, 9), pkt_bytes(10)).unwrap();
+        assert_eq!(
+            fab.stats().dropped_unreachable.load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let fab = Fabric::loopback();
+        let a = fab.bind(Addr::new(0, 1)).unwrap();
+        let err = a.recv(Some(Duration::from_millis(10))).unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn loss_model_drops_expected_fraction() {
+        let fab = Fabric::new(WireConfig::with_loss(0.25, 7));
+        let a = fab.bind(Addr::new(0, 1)).unwrap();
+        let b = fab.bind(Addr::new(1, 1)).unwrap();
+        let n = 20_000;
+        for _ in 0..n {
+            a.send_to(b.local_addr(), pkt_bytes(8)).unwrap();
+        }
+        let got = b.pending();
+        let rate = 1.0 - got as f64 / f64::from(n);
+        assert!((rate - 0.25).abs() < 0.02, "observed loss {rate}");
+        assert!((fab.stats().loss_rate() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let cfg = WireConfig {
+            latency: Duration::from_millis(20),
+            ..WireConfig::default()
+        };
+        let fab = Fabric::new(cfg);
+        let a = fab.bind(Addr::new(0, 1)).unwrap();
+        let b = fab.bind(Addr::new(1, 1)).unwrap();
+        let t0 = Instant::now();
+        a.send_to(b.local_addr(), pkt_bytes(10)).unwrap();
+        b.recv(Some(Duration::from_secs(1))).unwrap();
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(18), "latency not applied: {dt:?}");
+    }
+
+    #[test]
+    fn latency_preserves_order() {
+        let cfg = WireConfig {
+            latency: Duration::from_millis(2),
+            ..WireConfig::default()
+        };
+        let fab = Fabric::new(cfg);
+        let a = fab.bind(Addr::new(0, 1)).unwrap();
+        let b = fab.bind(Addr::new(1, 1)).unwrap();
+        for i in 0..50u8 {
+            a.send_to(b.local_addr(), Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..50u8 {
+            let p = b.recv(Some(Duration::from_secs(1))).unwrap();
+            assert_eq!(p.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn pacing_limits_rate() {
+        // 8 Mbit/s link; 100 packets of 1000 B payload ≈ (1000+54)*8*100
+        // bits ≈ 843k bits ⇒ ≥ 100 ms on the wire.
+        let cfg = WireConfig {
+            bandwidth_bps: 8_000_000,
+            ..WireConfig::default()
+        };
+        let fab = Fabric::new(cfg);
+        let a = fab.bind(Addr::new(0, 1)).unwrap();
+        let b = fab.bind(Addr::new(1, 1)).unwrap();
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            a.send_to(b.local_addr(), pkt_bytes(1000)).unwrap();
+        }
+        let dt = t0.elapsed();
+        assert!(dt >= Duration::from_millis(90), "pacing too fast: {dt:?}");
+        assert_eq!(b.pending(), 100);
+    }
+
+    #[test]
+    fn ephemeral_ports_unique() {
+        let fab = Fabric::loopback();
+        let e1 = fab.bind_ephemeral(NodeId(0)).unwrap();
+        let e2 = fab.bind_ephemeral(NodeId(0)).unwrap();
+        assert_ne!(e1.local_addr(), e2.local_addr());
+    }
+}

@@ -1,0 +1,141 @@
+//! Wire-level types: addresses, packets, link configuration.
+
+use std::fmt;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::loss::LossModel;
+
+/// Identifies a host ("node") on the fabric — the analog of an IP address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A (node, port) pair — the analog of an IP:port socket address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr {
+    /// Host identifier.
+    pub node: NodeId,
+    /// Port on that host.
+    pub port: u16,
+}
+
+impl Addr {
+    /// Creates an address from raw node and port numbers.
+    #[must_use]
+    pub fn new(node: u16, port: u16) -> Self {
+        Self {
+            node: NodeId(node),
+            port,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// One packet on the wire: at most [`WireConfig::mtu`] payload bytes.
+#[derive(Clone, Debug)]
+pub struct WirePacket {
+    /// Source endpoint.
+    pub src: Addr,
+    /// Destination endpoint.
+    pub dst: Addr,
+    /// Payload (headers of upper protocols included).
+    pub payload: Bytes,
+}
+
+/// Per-packet link-layer + IP + UDP header overhead counted when pacing to
+/// a link rate (Ethernet 14 + IPv4 20 + UDP 8, preamble/IFG folded in).
+pub const WIRE_HEADER_BYTES: usize = 54;
+
+/// Static configuration of the simulated link/switch.
+#[derive(Clone, Debug)]
+pub struct WireConfig {
+    /// Maximum wire-packet payload, bytes. WANs and the paper's testbed use
+    /// 1500; datagrams larger than this are fragmented by [`crate::dgram`].
+    pub mtu: usize,
+    /// Link bandwidth in bits/s used for serialization-delay pacing.
+    /// `0` disables pacing (infinitely fast wire) — the default for
+    /// benchmarks, where stack processing costs dominate as they do in the
+    /// paper's software implementation.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay added to each packet.
+    pub latency: Duration,
+    /// Packet-loss model applied independently to every wire packet.
+    pub loss: LossModel,
+    /// Seed for the loss model's RNG; a fixed seed reproduces the same
+    /// drop pattern.
+    pub seed: u64,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            mtu: 1500,
+            bandwidth_bps: 0,
+            latency: Duration::ZERO,
+            loss: LossModel::None,
+            seed: 0x1AAF_D6E4,
+        }
+    }
+}
+
+impl WireConfig {
+    /// Config with a given Bernoulli loss rate and everything else default.
+    #[must_use]
+    pub fn with_loss(rate: f64, seed: u64) -> Self {
+        Self {
+            loss: LossModel::bernoulli(rate),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Config modelling the paper's 10GbE testbed: 1500-byte MTU,
+    /// 10 Gbit/s pacing, 5 µs one-way switch+wire latency.
+    #[must_use]
+    pub fn ten_gbe() -> Self {
+        Self {
+            mtu: 1500,
+            bandwidth_bps: 10_000_000_000,
+            latency: Duration::from_micros(5),
+            loss: LossModel::None,
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(Addr::new(3, 77).to_string(), "n3:77");
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = WireConfig::default();
+        assert_eq!(c.mtu, 1500);
+        assert_eq!(c.bandwidth_bps, 0);
+        assert!(matches!(c.loss, LossModel::None));
+    }
+
+    #[test]
+    fn ten_gbe_paces() {
+        let c = WireConfig::ten_gbe();
+        assert_eq!(c.bandwidth_bps, 10_000_000_000);
+        assert_eq!(c.latency, Duration::from_micros(5));
+    }
+}

@@ -1,0 +1,96 @@
+//! Control messages of the socket shim: the slot-ring advertisement.
+//!
+//! Write-Record needs the sender to know the target's STag and ring
+//! geometry. A full SDP-like protocol would carry this in its connection
+//! setup; the shim bootstraps it with a one-time request/reply exchanged
+//! as ordinary (send/recv) datagrams, after which all data moves one-sided.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"IWSA";
+
+/// Advertisement request/reply payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// "Send me your ring advertisement."
+    AdvRequest,
+    /// Ring advertisement: where Write-Records may land.
+    AdvReply {
+        /// STag of the remote-writable ring region.
+        stag: u32,
+        /// Number of slots in the ring.
+        slots: u32,
+        /// Bytes per slot.
+        slot_size: u32,
+    },
+}
+
+impl Control {
+    /// Serializes the control message.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(17);
+        b.extend_from_slice(MAGIC);
+        match self {
+            Control::AdvRequest => b.put_u8(1),
+            Control::AdvReply {
+                stag,
+                slots,
+                slot_size,
+            } => {
+                b.put_u8(2);
+                b.put_u32(*stag);
+                b.put_u32(*slots);
+                b.put_u32(*slot_size);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parses a control message; `None` if `raw` is application data.
+    #[must_use]
+    pub fn decode(raw: &[u8]) -> Option<Control> {
+        if raw.len() < 5 || &raw[..4] != MAGIC {
+            return None;
+        }
+        match raw[4] {
+            1 => Some(Control::AdvRequest),
+            2 if raw.len() >= 17 => Some(Control::AdvReply {
+                stag: u32::from_be_bytes(raw[5..9].try_into().ok()?),
+                slots: u32::from_be_bytes(raw[9..13].try_into().ok()?),
+                slot_size: u32::from_be_bytes(raw[13..17].try_into().ok()?),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_request() {
+        let enc = Control::AdvRequest.encode();
+        assert_eq!(Control::decode(&enc), Some(Control::AdvRequest));
+    }
+
+    #[test]
+    fn roundtrip_reply() {
+        let c = Control::AdvReply {
+            stag: 0x555,
+            slots: 16,
+            slot_size: 4096,
+        };
+        assert_eq!(Control::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn app_data_is_not_control() {
+        assert_eq!(Control::decode(b"hello world"), None);
+        assert_eq!(Control::decode(b""), None);
+        assert_eq!(Control::decode(b"IWS"), None);
+        // Magic but bad type.
+        assert_eq!(Control::decode(b"IWSA\x09"), None);
+    }
+}

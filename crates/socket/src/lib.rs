@@ -1,0 +1,40 @@
+//! `iwarp-socket` — the iWARP socket interface (SDP-for-datagrams shim).
+//!
+//! The paper's Section V: "The iWARP socket interface was designed to serve
+//! as a layer that translates the socket networking calls of applications
+//! over to use the verb semantics of iWARP ... allowing existing
+//! applications to take advantage of the performance of iWARP while not
+//! requiring that they be re-developed to use the verbs interface."
+//!
+//! The original is an `LD_PRELOAD` shim over libc calls; this crate is the
+//! same layer as an explicit API: a [`SocketStack`] owns the device and the
+//! socket↔QP table, and hands out:
+//!
+//! * [`DgramSocket`] — UDP-like `send_to`/`recv_from` over a **UD QP**, in
+//!   one of two modes ([`DgramMode`]):
+//!   - `SendRecv`: two-sided verbs with a pool of pre-posted receive slots;
+//!   - `WriteRecord`: the paper's one-sided path — the receiver exposes a
+//!     remote-writable slot ring, senders learn its STag through a one-time
+//!     advertisement handshake, and data arrives as Write-Record
+//!     completions. Like the paper's shim, delivery into the *application*
+//!     buffer is still a copy ("we have elected not to re-exchange remote
+//!     buffer locations for every new buffer ... but to copy the data over
+//!     to the supplied buffer location instead", §VI.B.1), which is why the
+//!     two modes perform almost identically through the socket API.
+//! * [`StreamSocket`]/[`StreamListener`] — TCP-like byte streams over an
+//!   **RC QP** (message boundaries dissolved at the receiver).
+//!
+//! Per-socket state is registered with the device's
+//! [`iwarp_common::memacct::MemRegistry`] so the
+//! SIP memory experiment (paper Fig. 11) measures real footprints.
+
+#![warn(missing_docs)]
+
+mod control;
+mod dgram;
+mod stack;
+mod stream;
+
+pub use dgram::{DgramMode, DgramSocket};
+pub use stack::{SocketConfig, SocketStack};
+pub use stream::{StreamListener, StreamSocket};

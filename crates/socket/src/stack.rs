@@ -1,0 +1,182 @@
+//! The socket stack: the shim's per-process state.
+//!
+//! "It tracks the socket to QP matching so that each socket is only
+//! associated with a single QP ... only the QP to file descriptor mapping
+//! and whether the file descriptor has been previously initialized as an
+//! iWARP socket [is stored in the interface]" (paper §V.A.1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use simnet::{Addr, Fabric, NodeId};
+
+use iwarp::{Device, DeviceConfig, IwarpResult, QpConfig};
+
+use crate::dgram::{DgramMode, DgramSocket};
+use crate::stream::{StreamListener, StreamSocket};
+
+/// Socket-shim configuration.
+#[derive(Clone, Debug)]
+pub struct SocketConfig {
+    /// Datagram data path: two-sided send/recv or one-sided Write-Record.
+    pub mode: DgramMode,
+    /// Pre-posted receive slots per socket.
+    pub recv_slots: usize,
+    /// Bytes per receive slot — also the largest datagram the socket can
+    /// deliver (larger sends complete at the source but are dropped at the
+    /// receiver with a `RecvTooSmall` diagnostic, UDP-style).
+    pub slot_size: usize,
+    /// Deliver the valid prefix of partially placed Write-Record messages
+    /// instead of dropping them (for loss-tolerant media applications).
+    pub deliver_partial: bool,
+    /// How long a Write-Record sender waits for a ring advertisement
+    /// before falling back to send/recv.
+    pub adv_timeout: Duration,
+    /// Underlying queue-pair configuration.
+    pub qp: QpConfig,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        Self {
+            mode: DgramMode::SendRecv,
+            recv_slots: 16,
+            slot_size: 8 * 1024,
+            deliver_partial: false,
+            adv_timeout: Duration::from_secs(1),
+            qp: QpConfig::default(),
+        }
+    }
+}
+
+/// What an fd refers to (diagnostic view of the shim's table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FdKind {
+    /// Datagram socket (UD QP).
+    Dgram,
+    /// Stream socket (RC QP).
+    Stream,
+    /// Listening stream socket.
+    Listener,
+}
+
+pub(crate) struct StackInner {
+    pub device: Device,
+    pub cfg: SocketConfig,
+    next_fd: AtomicU32,
+    fds: Mutex<HashMap<u32, FdKind>>,
+}
+
+impl StackInner {
+    pub fn alloc_fd(&self, kind: FdKind) -> u32 {
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.fds.lock().insert(fd, kind);
+        fd
+    }
+
+    pub fn release_fd(&self, fd: u32) {
+        self.fds.lock().remove(&fd);
+    }
+}
+
+/// The iWARP socket interface: creates datagram and stream sockets whose
+/// data operations run over iWARP verbs.
+#[derive(Clone)]
+pub struct SocketStack {
+    pub(crate) inner: Arc<StackInner>,
+}
+
+impl SocketStack {
+    /// Creates a stack on `node` with default configuration.
+    #[must_use]
+    pub fn new(fabric: &Fabric, node: NodeId) -> Self {
+        Self::with_config(fabric, node, DeviceConfig::default(), SocketConfig::default())
+    }
+
+    /// Creates a stack with explicit device and socket configuration.
+    #[must_use]
+    pub fn with_config(
+        fabric: &Fabric,
+        node: NodeId,
+        device_cfg: DeviceConfig,
+        cfg: SocketConfig,
+    ) -> Self {
+        Self {
+            inner: Arc::new(StackInner {
+                device: Device::with_config(fabric, node, device_cfg),
+                cfg,
+                next_fd: AtomicU32::new(3),
+                fds: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The underlying device (for direct verbs access alongside sockets).
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.inner.device
+    }
+
+    /// The stack's socket configuration.
+    #[must_use]
+    pub fn config(&self) -> &SocketConfig {
+        &self.inner.cfg
+    }
+
+    /// Opens a datagram socket at an ephemeral port.
+    pub fn dgram(&self) -> IwarpResult<DgramSocket> {
+        DgramSocket::open(Arc::clone(&self.inner), None)
+    }
+
+    /// Opens a datagram socket bound at `port`.
+    pub fn dgram_bound(&self, port: u16) -> IwarpResult<DgramSocket> {
+        DgramSocket::open(Arc::clone(&self.inner), Some(port))
+    }
+
+    /// Connects a stream socket to a remote listener.
+    pub fn connect(&self, remote: Addr) -> IwarpResult<StreamSocket> {
+        StreamSocket::connect(Arc::clone(&self.inner), remote)
+    }
+
+    /// Opens a listening stream socket at `port`.
+    pub fn listen(&self, port: u16) -> IwarpResult<StreamListener> {
+        StreamListener::bind(Arc::clone(&self.inner), port)
+    }
+
+    /// Number of open iWARP sockets in the shim's fd table.
+    #[must_use]
+    pub fn open_sockets(&self) -> usize {
+        self.inner.fds.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_table_tracks_sockets() {
+        let fab = Fabric::loopback();
+        let stack = SocketStack::new(&fab, NodeId(0));
+        assert_eq!(stack.open_sockets(), 0);
+        let s1 = stack.dgram().unwrap();
+        let s2 = stack.dgram().unwrap();
+        assert_eq!(stack.open_sockets(), 2);
+        assert_ne!(s1.fd(), s2.fd());
+        drop(s1);
+        assert_eq!(stack.open_sockets(), 1);
+        drop(s2);
+        assert_eq!(stack.open_sockets(), 0);
+    }
+
+    #[test]
+    fn bound_port_is_respected() {
+        let fab = Fabric::loopback();
+        let stack = SocketStack::new(&fab, NodeId(0));
+        let s = stack.dgram_bound(5555).unwrap();
+        assert_eq!(s.local_addr().port, 5555);
+    }
+}
