@@ -14,7 +14,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use iwarp_bench::verbs::{bandwidth_with_config, default_burst};
+use iwarp_bench::verbs::{absorb_snapshot, bandwidth_with_config, default_burst, drain_snapshot};
 use iwarp_bench::{bandwidth, latency, FabricKind, Method};
 use iwarp_common::memacct::MemRegistry;
 use iwarp_common::stats::{pct_improvement_higher, pct_improvement_lower};
@@ -32,6 +32,7 @@ struct Args {
     out: PathBuf,
     fabric: FabricKind,
     calls: Vec<usize>,
+    telemetry: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +41,7 @@ fn parse_args() -> Args {
     let mut out = PathBuf::from("results");
     let mut fabric = FabricKind::TenGbe;
     let mut calls = vec![100, 1000, 10_000];
+    let mut telemetry = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -50,6 +52,7 @@ fn parse_args() -> Args {
             ),
             "--quick" => quick = true,
             "--fast-fabric" => fabric = FabricKind::Fast,
+            "--telemetry" => telemetry = true,
             "--out" => {
                 i += 1;
                 out = PathBuf::from(&argv[i]);
@@ -66,7 +69,7 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: figures [--all] [--fig5..--fig11] [--overhead] [--ext] [--quick] [--fast-fabric] [--calls a,b,c] [--out DIR]");
+                eprintln!("usage: figures [--all] [--fig5..--fig11] [--overhead] [--ext] [--quick] [--fast-fabric] [--telemetry] [--calls a,b,c] [--out DIR]");
                 std::process::exit(2);
             }
         }
@@ -84,7 +87,22 @@ fn parse_args() -> Args {
         out,
         fabric,
         calls,
+        telemetry,
     }
+}
+
+/// Writes the telemetry accumulated while producing one figure as a
+/// `<fig>_telemetry.csv` next to the figure's CSV. Drains the accumulator
+/// either way so figures never inherit each other's counters.
+fn save_telemetry(args: &Args, fig: &str) {
+    let Some(snap) = drain_snapshot() else { return };
+    if !args.telemetry {
+        return;
+    }
+    let _ = fs::create_dir_all(&args.out);
+    let path = args.out.join(format!("{fig}_telemetry.csv"));
+    fs::write(&path, snap.to_csv()).expect("write telemetry csv");
+    println!("  [csv] {}", path.display());
 }
 
 fn save_csv(args: &Args, name: &str, header: &str, rows: &[String]) {
@@ -383,6 +401,7 @@ fn fig9(args: &Args) {
                         media_sock_cfg(mode),
                     );
                     let m = run_udp_session(&sa, &sb, &cfg).expect("udp session");
+                    absorb_snapshot(fab.telemetry().snapshot());
                     m.prebuffer_time.as_secs_f64() * 1e3
                 })
                 .collect(),
@@ -407,6 +426,7 @@ fn fig9(args: &Args) {
                     media_sock_cfg(DgramMode::SendRecv),
                 );
                 let m = run_http_session(&sa, &sb, 8080, &cfg).expect("http session");
+                absorb_snapshot(fab.telemetry().snapshot());
                 m.prebuffer_time.as_secs_f64() * 1e3
             })
             .collect(),
@@ -501,6 +521,7 @@ fn fig10(args: &Args) {
         )
         .expect("load");
         server.stop().expect("server stop");
+        absorb_snapshot(fab.telemetry().snapshot());
         results.push((transport, report.response_us.median() / 1e3, report));
     }
     println!("{:>12} {:>16}", "transport", "response ms");
@@ -582,6 +603,7 @@ fn fig11(args: &Args) {
             )
             .expect("load");
             server.stop().expect("stop");
+            absorb_snapshot(fab.telemetry().snapshot());
             assert_eq!(report.calls_established, calls);
             report.server_mem_bytes
         };
@@ -634,6 +656,7 @@ fn overhead(args: &Args) {
                 .prebuffer_time
                 .as_secs_f64(),
         );
+        absorb_snapshot(fab.telemetry().snapshot());
         let fab2 = Fabric::new(args.fabric.config());
         native.push(
             run_native_udp_session(&fab2, &cfg)
@@ -641,6 +664,7 @@ fn overhead(args: &Args) {
                 .prebuffer_time
                 .as_secs_f64(),
         );
+        absorb_snapshot(fab2.telemetry().snapshot());
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let shim_ms = avg(&shim) * 1e3;
@@ -751,6 +775,7 @@ fn main() {
             "ext" => ext(&args),
             other => eprintln!("unknown figure {other}"),
         }
+        save_telemetry(&args, &fig);
     }
     println!("\nall figures done in {:.1}s", t0.elapsed().as_secs_f64());
 }

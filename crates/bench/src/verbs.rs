@@ -8,7 +8,7 @@
 //! §VI.A.1), measured at the receiver so that loss sweeps report delivered
 //! goodput.
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -17,6 +17,27 @@ use simnet::{Fabric, LossModel, NodeId, WireConfig};
 use iwarp::wr::RecvWr;
 use iwarp::{Access, Cq, CqeOpcode, CqeStatus, Device, QpConfig};
 use iwarp_common::stats::Summary;
+use iwarp_telemetry::Snapshot;
+
+// Each measurement builds (and drops) its own fabric, so the per-fabric
+// telemetry would vanish with it. The accumulator keeps a running merge
+// that `figures --telemetry` drains after each figure.
+static TEL_ACC: Mutex<Option<Snapshot>> = Mutex::new(None);
+
+/// Folds `snap` into the process-wide telemetry accumulator (summing
+/// counters shared across fabrics).
+pub fn absorb_snapshot(snap: Snapshot) {
+    let mut acc = TEL_ACC.lock().unwrap();
+    match acc.as_mut() {
+        Some(existing) => existing.merge(&snap),
+        None => *acc = Some(snap),
+    }
+}
+
+/// Takes the accumulated telemetry, leaving the accumulator empty.
+pub fn drain_snapshot() -> Option<Snapshot> {
+    TEL_ACC.lock().unwrap().take()
+}
 
 /// Which verbs data path to measure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,14 +136,16 @@ pub fn latency(kind: FabricKind, method: Method, size: usize, warmup: usize, ite
     let dev_a = Device::new(&fabric, NodeId(0));
     let dev_b = Device::new(&fabric, NodeId(1));
     let total = warmup + iters;
-    match method {
+    let summary = match method {
         Method::UdSendRecv => latency_dgram(&dev_a, &dev_b, size, warmup, iters, false, false),
         Method::RdSendRecv => latency_dgram(&dev_a, &dev_b, size, warmup, iters, false, true),
         Method::UdWriteRecord => latency_dgram(&dev_a, &dev_b, size, warmup, iters, true, false),
         Method::RcSendRecv => latency_rc_sendrecv(&dev_a, &dev_b, size, warmup, iters),
         Method::RcRdmaWrite => latency_rc_write(&dev_a, &dev_b, size, warmup, iters),
         Method::UdRead => latency_ud_read(&dev_a, &dev_b, size, warmup, iters, total),
-    }
+    };
+    absorb_snapshot(fabric.telemetry().snapshot());
+    summary
 }
 
 fn latency_dgram(
@@ -382,14 +405,16 @@ pub fn bandwidth_with_config(cfg: WireConfig, method: Method, size: usize, n: us
     let fabric = Fabric::new(cfg);
     let dev_a = Device::new(&fabric, NodeId(0));
     let dev_b = Device::new(&fabric, NodeId(1));
-    match method {
+    let result = match method {
         Method::UdSendRecv => bw_dgram(&dev_a, &dev_b, size, n, false, false),
         Method::RdSendRecv => bw_dgram(&dev_a, &dev_b, size, n, false, true),
         Method::UdWriteRecord => bw_dgram(&dev_a, &dev_b, size, n, true, false),
         Method::RcSendRecv => bw_rc_sendrecv(&dev_a, &dev_b, size, n),
         Method::RcRdmaWrite => bw_rc_write(&dev_a, &dev_b, size, n),
         Method::UdRead => bw_ud_read(&dev_a, &dev_b, size, n),
-    }
+    };
+    absorb_snapshot(fabric.telemetry().snapshot());
+    result
 }
 
 /// Receiver-side tally: waits for up to `n` terminal completions, ending

@@ -14,9 +14,10 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use iwarp_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use simnet::Addr;
 
@@ -95,6 +96,21 @@ pub struct Cqe {
     pub solicited: bool,
 }
 
+/// Telemetry handles bound by [`Cq::attach_telemetry`]. Counter names are
+/// domain-wide (`core.cq.*`), so every CQ of a fabric aggregates into the
+/// same metrics.
+struct CqTel {
+    pushed: Counter,
+    success: Counter,
+    partial: Counter,
+    expired: Counter,
+    too_small: Counter,
+    flushed: Counter,
+    error: Counter,
+    overflow: Counter,
+    poll_wait_nanos: Histogram,
+}
+
 struct CqInner {
     queue: Mutex<VecDeque<Cqe>>,
     cv: Condvar,
@@ -103,6 +119,7 @@ struct CqInner {
     solicited_seq: AtomicU64,
     capacity: usize,
     overflows: AtomicU64,
+    tel: OnceLock<CqTel>,
 }
 
 /// A completion queue. Clones share the same queue.
@@ -123,8 +140,28 @@ impl Cq {
                 solicited_seq: AtomicU64::new(0),
                 capacity: capacity.max(1),
                 overflows: AtomicU64::new(0),
+                tel: OnceLock::new(),
             }),
         }
+    }
+
+    /// Binds this CQ into a telemetry domain: every push is counted under
+    /// `core.cq.*` by outcome, overflows are exported, and timed polls
+    /// record their wait in the `core.cq.poll_wait_nanos` histogram.
+    /// Called automatically when a QP is created over the CQ; idempotent
+    /// (the first domain wins).
+    pub fn attach_telemetry(&self, tel: &Telemetry) {
+        self.inner.tel.get_or_init(|| CqTel {
+            pushed: tel.counter("core.cq.cqes"),
+            success: tel.counter("core.cq.cqe_success"),
+            partial: tel.counter("core.cq.cqe_partial"),
+            expired: tel.counter("core.cq.cqe_expired"),
+            too_small: tel.counter("core.cq.cqe_recv_too_small"),
+            flushed: tel.counter("core.cq.cqe_flushed"),
+            error: tel.counter("core.cq.cqe_error"),
+            overflow: tel.counter("core.cq.overflows"),
+            poll_wait_nanos: tel.histogram("core.cq.poll_wait_nanos"),
+        });
     }
 
     /// Enqueues a completion. On overflow the entry is dropped and counted
@@ -134,7 +171,21 @@ impl Cq {
         let mut q = self.inner.queue.lock();
         if q.len() >= self.inner.capacity {
             self.inner.overflows.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.inner.tel.get() {
+                t.overflow.inc();
+            }
             return;
+        }
+        if let Some(t) = self.inner.tel.get() {
+            t.pushed.inc();
+            match cqe.status {
+                CqeStatus::Success => t.success.inc(),
+                CqeStatus::Partial => t.partial.inc(),
+                CqeStatus::Expired => t.expired.inc(),
+                CqeStatus::RecvTooSmall => t.too_small.inc(),
+                CqeStatus::Flushed => t.flushed.inc(),
+                CqeStatus::Error => t.error.inc(),
+            }
         }
         let solicited = cqe.solicited;
         q.push_back(cqe);
@@ -181,10 +232,15 @@ impl Cq {
 
     /// Polls with a timeout — the mandatory datagram-iWARP polling mode.
     pub fn poll_timeout(&self, timeout: Duration) -> IwarpResult<Cqe> {
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
         let mut q = self.inner.queue.lock();
         loop {
             if let Some(cqe) = q.pop_front() {
+                drop(q);
+                if let Some(t) = self.inner.tel.get() {
+                    t.poll_wait_nanos.record(start.elapsed().as_nanos() as u64);
+                }
                 return Ok(cqe);
             }
             let now = Instant::now();

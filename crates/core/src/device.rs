@@ -55,6 +55,11 @@ impl Device {
         if cfg.stream.mem.is_none() {
             cfg.stream.mem = cfg.mem.clone();
         }
+        // Fold this device's memory accounting into the fabric's telemetry
+        // snapshots (`mem.<scope>.{current,peak}`).
+        if let Some(reg) = &cfg.mem {
+            fabric.telemetry().attach_mem(reg.clone());
+        }
         Self {
             fabric: fabric.clone(),
             node,
@@ -74,6 +79,12 @@ impl Device {
     #[must_use]
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// The fabric-wide telemetry domain this device reports into.
+    #[must_use]
+    pub fn telemetry(&self) -> &iwarp_telemetry::Telemetry {
+        self.fabric.telemetry()
     }
 
     /// The device's memory-registration table.
@@ -158,6 +169,7 @@ impl Device {
             recv_cq.clone(),
             cfg,
             mem,
+            self.fabric.telemetry(),
         )
     }
 

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use iwarp_telemetry::{Counter, Histogram, Telemetry};
 use simnet::{Addr, DgramConduit, NetError, RdConduit};
 
 use iwarp_common::memacct::MemScope;
@@ -82,11 +83,30 @@ impl DgLlp {
     }
 }
 
+/// Send-side telemetry handles (resolved once at QP creation); shared by
+/// the datagram and RC engines.
+pub(crate) struct QpTxTel {
+    pub(crate) tx_msgs: Counter,
+    pub(crate) tx_segments: Counter,
+    pub(crate) msg_size_tx: Histogram,
+}
+
+impl QpTxTel {
+    pub(crate) fn new(tel: &Telemetry) -> Self {
+        Self {
+            tx_msgs: tel.counter("core.qp.tx_msgs"),
+            tx_segments: tel.counter("core.qp.tx_segments"),
+            msg_size_tx: tel.histogram("core.qp.msg_size_tx"),
+        }
+    }
+}
+
 struct DgInner {
     qpn: u32,
     llp: DgLlp,
     send_cq: Cq,
     rx: RxCore,
+    tx_tel: QpTxTel,
     next_msg_id: AtomicU64,
     next_msn: AtomicU32,
     max_msg_size: usize,
@@ -104,6 +124,7 @@ pub struct DatagramQp {
 }
 
 impl DatagramQp {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         qpn: u32,
         llp: DgLlp,
@@ -112,11 +133,16 @@ impl DatagramQp {
         recv_cq: Cq,
         cfg: QpConfig,
         mem: Option<MemScope>,
+        tel: &Telemetry,
     ) -> Self {
         let max_msg_size = cfg.max_msg_size;
         let reliable = llp.is_reliable();
+        send_cq.attach_telemetry(tel);
+        recv_cq.attach_telemetry(tel);
+        let rx_tel = crate::qp::rx::RxTel::new(tel, llp.local_addr());
         let inner = Arc::new(DgInner {
-            rx: RxCore::new(mrs, recv_cq, cfg, reliable),
+            rx: RxCore::new(mrs, recv_cq, cfg, reliable, rx_tel),
+            tx_tel: QpTxTel::new(tel),
             qpn,
             llp,
             send_cq,
@@ -270,8 +296,11 @@ impl DatagramQp {
         let msn = self.inner.next_msn.fetch_add(1, Ordering::Relaxed);
         let cap = self.untagged_seg_capacity();
         let total = data.len() as u32;
+        self.inner.tx_tel.tx_msgs.inc();
+        self.inner.tx_tel.msg_size_tx.record(u64::from(total));
         let mut mo = 0usize;
         loop {
+            self.inner.tx_tel.tx_segments.inc();
             let end = (mo + cap).min(data.len());
             let hdr = UntaggedHdr {
                 opcode: RdmapOpcode::Send,
@@ -400,8 +429,11 @@ impl DatagramQp {
         let msg_id = self.inner.next_msg_id.fetch_add(1, Ordering::Relaxed);
         let cap = self.tagged_seg_capacity();
         let total = data.len() as u32;
+        self.inner.tx_tel.tx_msgs.inc();
+        self.inner.tx_tel.msg_size_tx.record(u64::from(total));
         let mut off = 0usize;
         loop {
+            self.inner.tx_tel.tx_segments.inc();
             let end = (off + cap).min(data.len());
             let hdr = TaggedHdr {
                 opcode,
@@ -484,6 +516,8 @@ impl DatagramQp {
             msg_id,
         };
         let seg = encode_untagged(&hdr, &req.encode(), true);
+        self.inner.tx_tel.tx_msgs.inc();
+        self.inner.tx_tel.tx_segments.inc();
         self.inner.llp.send_to(dest.addr, seg)?;
         Ok(())
     }
@@ -559,9 +593,11 @@ fn rx_step(inner: &DgInner, max_wait: Duration) {
             }
             Err(IwarpError::CrcMismatch) => {
                 inner.rx.stats.crc_errors.fetch_add(1, Ordering::Relaxed);
+                inner.rx.note_crc_error();
             }
             Err(_) => {
                 inner.rx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                inner.rx.note_malformed();
             }
         },
         Err(NetError::Timeout) => {}

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use iwarp_telemetry::Telemetry;
 use parking_lot::Mutex;
 use simnet::stream::StreamConfig;
 use simnet::{Addr, Fabric, NetError, NodeId, StreamConduit, StreamListener};
@@ -26,7 +27,8 @@ use crate::hdr::{
     UNTAGGED_HDR_LEN,
 };
 use crate::mpa::{MpaConfig, MpaRx, MpaTx, FPDU_OVERHEAD};
-use crate::qp::rx::{RxAction, RxCore, QN_READ_REQUEST, QN_SEND};
+use crate::qp::dgram::QpTxTel;
+use crate::qp::rx::{RxAction, RxCore, RxTel, QN_READ_REQUEST, QN_SEND};
 use crate::qp::{QpConfig, QpStats};
 use crate::wr::{RecvWr, SendPayload};
 
@@ -37,6 +39,7 @@ struct RcInner {
     tx: Mutex<MpaTx>,
     send_cq: Cq,
     rx: RxCore,
+    tx_tel: QpTxTel,
     next_msg_id: AtomicU64,
     next_msn: AtomicU32,
     max_msg_size: usize,
@@ -94,8 +97,11 @@ impl RcInner {
     ) -> IwarpResult<()> {
         let cap = self.emss.max(64);
         let total = data.len() as u32;
+        self.tx_tel.tx_msgs.inc();
+        self.tx_tel.msg_size_tx.record(u64::from(total));
         let mut off = 0usize;
         loop {
+            self.tx_tel.tx_segments.inc();
             let end = (off + cap).min(data.len());
             let hdr = TaggedHdr {
                 opcode,
@@ -136,6 +142,7 @@ pub(crate) struct RcQpParts {
     pub recv_cq: Cq,
     pub cfg: QpConfig,
     pub mem: Option<MemScope>,
+    pub tel: Telemetry,
 }
 
 impl RcQp {
@@ -150,7 +157,11 @@ impl RcQp {
             recv_cq,
             cfg,
             mem,
+            tel,
         } = parts;
+        send_cq.attach_telemetry(&tel);
+        recv_cq.attach_telemetry(&tel);
+        let rx_tel = RxTel::new(&tel, stream.local_addr());
         let marker_slack = 32; // worst-case markers within one FPDU budget
         let emss = stream
             .mss()
@@ -159,7 +170,8 @@ impl RcQp {
         let max_msg_size = cfg.max_msg_size;
         let inner = Arc::new(RcInner {
             // RC rides the reliable stream: in-flight work never expires.
-            rx: RxCore::new(mrs, recv_cq, cfg, true),
+            rx: RxCore::new(mrs, recv_cq, cfg, true, rx_tel),
+            tx_tel: QpTxTel::new(&tel),
             qpn,
             peer_qpn,
             tx: Mutex::new(MpaTx::new(mpa)),
@@ -282,8 +294,11 @@ impl RcQp {
         let msn = self.inner.next_msn.fetch_add(1, Ordering::Relaxed);
         let cap = self.inner.emss;
         let total = data.len() as u32;
+        self.inner.tx_tel.tx_msgs.inc();
+        self.inner.tx_tel.msg_size_tx.record(u64::from(total));
         let mut mo = 0usize;
         loop {
+            self.inner.tx_tel.tx_segments.inc();
             let end = (mo + cap).min(data.len());
             let hdr = UntaggedHdr {
                 opcode: RdmapOpcode::Send,
@@ -457,6 +472,8 @@ impl RcQp {
             src_qpn: self.inner.qpn,
             msg_id,
         };
+        self.inner.tx_tel.tx_msgs.inc();
+        self.inner.tx_tel.tx_segments.inc();
         self.inner
             .write_ulpdu(&encode_untagged(&hdr, &req.encode(), false))?;
         Ok(())
@@ -572,6 +589,7 @@ fn drain_pending(inner: &RcInner, peer: simnet::Addr, state: &mut RcRxState) -> 
             }
             Err(_) => {
                 inner.rx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                inner.rx.note_malformed();
                 inner.fail(IwarpError::Net(NetError::Protocol(
                     "malformed DDP segment on stream",
                 )));
@@ -615,6 +633,7 @@ pub struct RcListener {
     mpa: MpaConfig,
     next_qpn: Arc<AtomicU32>,
     mem: Option<iwarp_common::memacct::MemRegistry>,
+    tel: Telemetry,
 }
 
 impl RcListener {
@@ -633,6 +652,7 @@ impl RcListener {
             mpa,
             next_qpn,
             mem,
+            tel: fabric.telemetry().clone(),
         })
     }
 
@@ -668,6 +688,7 @@ impl RcListener {
             recv_cq: recv_cq.clone(),
             cfg,
             mem,
+            tel: self.tel.clone(),
         }))
     }
 }
@@ -701,5 +722,6 @@ pub(crate) fn rc_connect(
         recv_cq: recv_cq.clone(),
         cfg,
         mem,
+        tel: fabric.telemetry().clone(),
     }))
 }

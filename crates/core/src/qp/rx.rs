@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use iwarp_telemetry::{Counter, EndpointId, EventKind, Histogram, Telemetry};
 use parking_lot::Mutex;
 use simnet::Addr;
 
@@ -53,6 +54,60 @@ pub struct QpStats {
     pub rx_segments: AtomicU64,
     /// Messages completed (all opcodes).
     pub rx_messages: AtomicU64,
+}
+
+/// Telemetry handles the receive engine keeps resolved, mirroring
+/// [`QpStats`] into the fabric's domain-wide counters plus the
+/// Write-Record accounting the paper's loss experiments reconcile
+/// against.
+pub(crate) struct RxTel {
+    tel: Telemetry,
+    local: EndpointId,
+    rx_segments: Counter,
+    rx_messages: Counter,
+    crc_errors: Counter,
+    malformed: Counter,
+    dropped_no_rq: Counter,
+    recovery_expired: Counter,
+    read_expired: Counter,
+    access_violations: Counter,
+    read_denied: Counter,
+    partial_placements: Counter,
+    wr_record_completions: Counter,
+    stale_gc_reaped: Counter,
+    msg_bytes: Histogram,
+}
+
+impl RxTel {
+    pub fn new(tel: &Telemetry, local: Addr) -> Self {
+        Self {
+            local: EndpointId::new(local.node.0, local.port),
+            rx_segments: tel.counter("core.rx.segments"),
+            rx_messages: tel.counter("core.rx.messages"),
+            crc_errors: tel.counter("core.rx.crc_errors"),
+            malformed: tel.counter("core.rx.malformed"),
+            dropped_no_rq: tel.counter("core.rx.dropped_no_rq"),
+            recovery_expired: tel.counter("core.rx.recovery_expired"),
+            read_expired: tel.counter("core.rx.read_expired"),
+            access_violations: tel.counter("core.rx.access_violations"),
+            read_denied: tel.counter("core.rx.read_denied"),
+            partial_placements: tel.counter("core.qp.wr_record.partial_placements"),
+            wr_record_completions: tel.counter("core.qp.wr_record.completions"),
+            stale_gc_reaped: tel.counter("core.qp.wr_record.stale_gc_reaped"),
+            msg_bytes: tel.histogram("core.rx.msg_bytes"),
+            tel: tel.clone(),
+        }
+    }
+
+    /// Records a packet event against this QP's endpoint when tracing is
+    /// armed (one relaxed load otherwise).
+    fn trace(&self, kind: EventKind, a: u64, b: u64) {
+        if self.tel.tracer().armed() {
+            self.tel
+                .tracer()
+                .record(self.tel.now_nanos(), self.local, kind, a, b);
+        }
+    }
 }
 
 /// Transport-specific follow-up work produced by [`RxCore::handle`].
@@ -105,6 +160,7 @@ pub(crate) struct RxCore {
     pub recv_cq: Cq,
     pub cfg: QpConfig,
     pub stats: QpStats,
+    pub(crate) tel: RxTel,
     /// True when the LLP guarantees delivery (RC, RD): partial receives
     /// and pending reads must then never expire — every segment will
     /// arrive eventually, and recycling a receive mid-message would
@@ -118,19 +174,37 @@ pub(crate) struct RxCore {
 }
 
 impl RxCore {
-    pub fn new(mrs: std::sync::Arc<MrTable>, recv_cq: Cq, cfg: QpConfig, reliable: bool) -> Self {
+    pub fn new(
+        mrs: std::sync::Arc<MrTable>,
+        recv_cq: Cq,
+        cfg: QpConfig,
+        reliable: bool,
+        tel: RxTel,
+    ) -> Self {
         Self {
             mrs,
             recv_cq,
             records: RecordTable::new(cfg.record_ttl),
             cfg,
             stats: QpStats::default(),
+            tel,
             reliable,
             rq: Mutex::new(VecDeque::new()),
             pending_recv: Mutex::new(HashMap::new()),
             pending_reads: Mutex::new(HashMap::new()),
             next_sweep: Mutex::new(Instant::now() + Duration::from_millis(50)),
         }
+    }
+
+    /// Mirrors a CRC-discard observed by the owning engine (which decodes
+    /// before handing segments to the core).
+    pub(crate) fn note_crc_error(&self) {
+        self.tel.crc_errors.inc();
+    }
+
+    /// Mirrors a decode failure observed by the owning engine.
+    pub(crate) fn note_malformed(&self) {
+        self.tel.malformed.inc();
     }
 
     /// Queues a receive work request.
@@ -182,6 +256,7 @@ impl RxCore {
     /// Processes one decoded DDP segment from `src`.
     pub fn handle(&self, src: Addr, seg: DdpSegment) -> Option<RxAction> {
         self.stats.rx_segments.fetch_add(1, Ordering::Relaxed);
+        self.tel.rx_segments.inc();
         match seg {
             DdpSegment::Untagged { hdr, payload } => self.handle_untagged(src, &hdr, &payload),
             DdpSegment::Tagged { hdr, payload } => {
@@ -206,6 +281,7 @@ impl RxCore {
             QN_TERMINATE => None,
             _ => {
                 self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                self.tel.malformed.inc();
                 None
             }
         }
@@ -222,6 +298,7 @@ impl RxCore {
                 // New message: consume the next posted receive.
                 let Some(wr) = self.rq.lock().pop_front() else {
                     self.stats.dropped_no_rq.fetch_add(1, Ordering::Relaxed);
+                    self.tel.dropped_no_rq.inc();
                     return;
                 };
                 let discard = hdr.total_len > wr.len;
@@ -266,13 +343,20 @@ impl RxCore {
         let place_at = entry.wr.offset + u64::from(hdr.mo);
         if entry.wr.mr.write(place_at, payload).is_err() {
             self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+            self.tel.access_violations.inc();
             return;
         }
+        self.tel
+            .trace(EventKind::Placement, payload.len() as u64, hdr.msg_id);
         entry.solicited |= hdr.solicited;
         entry.validity.record(u64::from(hdr.mo), payload.len() as u64);
         if entry.validity.covers(u64::from(entry.total)) {
             let done = pending.remove(&key).expect("present");
             self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+            self.tel.rx_messages.inc();
+            self.tel.msg_bytes.record(u64::from(done.total));
+            self.tel
+                .trace(EventKind::Cqe, u64::from(done.total), hdr.msg_id);
             self.recv_cq.push(Cqe {
                 wr_id: done.wr.wr_id,
                 opcode: CqeOpcode::Recv,
@@ -298,6 +382,7 @@ impl RxCore {
     ) -> Option<RxAction> {
         let Ok(req) = ReadRequest::decode(payload) else {
             self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            self.tel.malformed.inc();
             return None;
         };
         let mr = match self
@@ -307,6 +392,7 @@ impl RxCore {
             Ok(mr) => mr,
             Err(_) => {
                 self.stats.read_denied.fetch_add(1, Ordering::Relaxed);
+                self.tel.read_denied.inc();
                 return None;
             }
         };
@@ -314,6 +400,7 @@ impl RxCore {
             Ok(d) => d,
             Err(_) => {
                 self.stats.read_denied.fetch_add(1, Ordering::Relaxed);
+                self.tel.read_denied.inc();
                 return None;
             }
         };
@@ -338,13 +425,17 @@ impl RxCore {
                         // Datagram semantics: report, do not kill the QP
                         // (paper §IV.B item 2).
                         self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+                        self.tel.access_violations.inc();
                         return;
                     }
                 };
                 if mr.write(hdr.to, payload).is_err() {
                     self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+                    self.tel.access_violations.inc();
                     return;
                 }
+                self.tel
+                    .trace(EventKind::Placement, payload.len() as u64, hdr.msg_id);
                 if hdr.notify {
                     if let Some(info) = self.records.ingest(src, hdr, payload.len()) {
                         let complete = info.is_complete();
@@ -353,6 +444,9 @@ impl RxCore {
                         } else {
                             CqeStatus::Partial
                         };
+                        if !complete {
+                            self.tel.partial_placements.inc();
+                        }
                         if hdr.opcode == RdmapOpcode::RdmaWriteImm {
                             // InfiniBand semantics: the immediate consumes
                             // a posted receive. Without one, the data is
@@ -360,9 +454,14 @@ impl RxCore {
                             // exact cost Write-Record avoids (§IV.B.3).
                             let Some(wr) = self.rq.lock().pop_front() else {
                                 self.stats.dropped_no_rq.fetch_add(1, Ordering::Relaxed);
+                                self.tel.dropped_no_rq.inc();
                                 return;
                             };
                             self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+                            self.tel.rx_messages.inc();
+                            self.tel.msg_bytes.record(info.valid_bytes());
+                            self.tel
+                                .trace(EventKind::Cqe, info.valid_bytes(), hdr.msg_id);
                             self.recv_cq.push(Cqe {
                                 wr_id: wr.wr_id,
                                 opcode: CqeOpcode::Recv,
@@ -379,6 +478,11 @@ impl RxCore {
                             return;
                         }
                         self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+                        self.tel.rx_messages.inc();
+                        self.tel.wr_record_completions.inc();
+                        self.tel.msg_bytes.record(info.valid_bytes());
+                        self.tel
+                            .trace(EventKind::Cqe, info.valid_bytes(), hdr.msg_id);
                         self.recv_cq.push(Cqe {
                             // No WR was consumed: Write-Record is truly
                             // one-sided (paper §IV.B.3).
@@ -400,6 +504,7 @@ impl RxCore {
             RdmapOpcode::ReadResponse => self.place_read_response(hdr, payload),
             _ => {
                 self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                self.tel.malformed.inc();
             }
         }
     }
@@ -416,16 +521,22 @@ impl RxCore {
             || hdr.to + payload.len() as u64 > pr.sink_to + u64::from(pr.len)
         {
             self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+            self.tel.access_violations.inc();
             return;
         }
         if pr.sink.write(hdr.to, payload).is_err() {
             self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+            self.tel.access_violations.inc();
             return;
         }
         pr.validity.record(hdr.to - pr.sink_to, payload.len() as u64);
         if pr.validity.covers(u64::from(pr.len)) {
             let done = reads.remove(&hdr.msg_id).expect("present");
             self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+            self.tel.rx_messages.inc();
+            self.tel.msg_bytes.record(u64::from(done.len));
+            self.tel
+                .trace(EventKind::Cqe, u64::from(done.len), hdr.msg_id);
             self.recv_cq.push(Cqe {
                 wr_id: done.wr_id,
                 opcode: CqeOpcode::RdmaRead,
@@ -460,6 +571,7 @@ impl RxCore {
                 self.stats
                     .records_reaped
                     .fetch_add(gc.reaped, Ordering::Relaxed);
+                self.tel.stale_gc_reaped.add(gc.reaped);
             }
             return;
         }
@@ -474,6 +586,7 @@ impl RxCore {
             for key in expired {
                 let p = pending.remove(&key).expect("present");
                 self.stats.expired_recvs.fetch_add(1, Ordering::Relaxed);
+                self.tel.recovery_expired.inc();
                 if !p.discard {
                     self.recv_cq.push(Cqe {
                         wr_id: p.wr.wr_id,
@@ -501,6 +614,7 @@ impl RxCore {
                 .collect();
             for key in expired {
                 let p = reads.remove(&key).expect("present");
+                self.tel.read_expired.inc();
                 self.recv_cq.push(Cqe {
                     wr_id: p.wr_id,
                     opcode: CqeOpcode::RdmaRead,
@@ -518,6 +632,7 @@ impl RxCore {
             self.stats
                 .records_reaped
                 .fetch_add(gc.reaped, Ordering::Relaxed);
+            self.tel.stale_gc_reaped.add(gc.reaped);
         }
     }
 

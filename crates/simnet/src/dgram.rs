@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
+use iwarp_telemetry::{Counter, EndpointId, EventKind, Histogram, Telemetry};
 use parking_lot::Mutex;
 
 use crate::error::{NetError, NetResult};
@@ -55,6 +56,16 @@ struct Reassembly {
     last_gc: Instant,
 }
 
+/// Telemetry handles resolved once at bind time (see `FabricTel`).
+struct DgramTel {
+    tel: Telemetry,
+    tx_datagrams: Counter,
+    tx_fragments: Counter,
+    rx_datagrams: Counter,
+    partials_expired: Counter,
+    msg_bytes: Histogram,
+}
+
 /// Unreliable datagram endpoint over a [`Fabric`].
 pub struct DgramConduit {
     ep: Endpoint,
@@ -62,6 +73,7 @@ pub struct DgramConduit {
     reasm: Mutex<Reassembly>,
     /// Fragment payload capacity per wire packet.
     frag_payload: usize,
+    tel: DgramTel,
 }
 
 impl DgramConduit {
@@ -77,6 +89,15 @@ impl DgramConduit {
 
     fn from_endpoint(ep: Endpoint) -> Self {
         let frag_payload = ep.mtu() - FRAG_HEADER;
+        let t = ep.fabric().telemetry().clone();
+        let tel = DgramTel {
+            tx_datagrams: t.counter("simnet.dgram.tx_datagrams"),
+            tx_fragments: t.counter("simnet.dgram.tx_fragments"),
+            rx_datagrams: t.counter("simnet.dgram.rx_datagrams"),
+            partials_expired: t.counter("simnet.dgram.partials_expired"),
+            msg_bytes: t.histogram("simnet.dgram.msg_bytes"),
+            tel: t,
+        };
         Self {
             ep,
             next_id: Mutex::new(1),
@@ -85,6 +106,7 @@ impl DgramConduit {
                 last_gc: Instant::now(),
             }),
             frag_payload,
+            tel,
         }
     }
 
@@ -92,6 +114,12 @@ impl DgramConduit {
     #[must_use]
     pub fn local_addr(&self) -> Addr {
         self.ep.local_addr()
+    }
+
+    /// The fabric this conduit is bound on.
+    #[must_use]
+    pub fn fabric(&self) -> &crate::fabric::Fabric {
+        self.ep.fabric()
     }
 
     /// Largest datagram this conduit accepts.
@@ -124,6 +152,19 @@ impl DgramConduit {
         };
         let total_len = payload.len() as u32;
         let frag_count = payload.len().div_ceil(self.frag_payload).max(1) as u16;
+        self.tel.tx_datagrams.inc();
+        self.tel.tx_fragments.add(u64::from(frag_count));
+        self.tel.msg_bytes.record(payload.len() as u64);
+        if self.tel.tel.tracer().armed() {
+            let src = self.ep.local_addr();
+            self.tel.tel.tracer().record(
+                self.tel.tel.now_nanos(),
+                EndpointId::new(src.node.0, src.port),
+                EventKind::Enqueue,
+                payload.len() as u64,
+                u64::from(id),
+            );
+        }
         for idx in 0..frag_count {
             let start = usize::from(idx) * self.frag_payload;
             let end = (start + self.frag_payload).min(payload.len());
@@ -203,14 +244,19 @@ impl DgramConduit {
         }
         if cnt == 1 {
             // Fast path: unfragmented datagram.
+            self.tel.rx_datagrams.inc();
             return Some((src, Bytes::copy_from_slice(body)));
         }
 
         let mut g = self.reasm.lock();
         let now = Instant::now();
         if now.duration_since(g.last_gc) > REASSEMBLY_TTL {
+            let before = g.partials.len();
             g.partials
                 .retain(|_, p| now.duration_since(p.created) <= REASSEMBLY_TTL);
+            self.tel
+                .partials_expired
+                .add((before - g.partials.len()) as u64);
             g.last_gc = now;
         }
         let key = (src, id);
@@ -248,6 +294,7 @@ impl DgramConduit {
         p.received += 1;
         if p.received == p.frag_count {
             let done = g.partials.remove(&key).expect("present");
+            self.tel.rx_datagrams.inc();
             return Some((src, done.buf.freeze()));
         }
         None

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use iwarp_telemetry::{Counter, EndpointId, EventKind, Histogram, Telemetry};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::SmallRng;
 
@@ -85,6 +86,39 @@ struct DelayLine {
     shutdown: Mutex<bool>,
 }
 
+/// Telemetry handles the fabric keeps resolved so the per-packet path
+/// never touches the registry (counter adds are single relaxed RMWs).
+struct FabricTel {
+    tel: Telemetry,
+    tx_packets: Counter,
+    tx_bytes: Counter,
+    delivered: Counter,
+    dropped_loss: Counter,
+    dropped_unreachable: Counter,
+    pkts_dropped: Counter,
+    pkt_bytes: Histogram,
+}
+
+impl FabricTel {
+    fn new() -> Self {
+        let tel = Telemetry::new();
+        Self {
+            tx_packets: tel.counter("simnet.fabric.tx_packets"),
+            tx_bytes: tel.counter("simnet.fabric.tx_bytes"),
+            delivered: tel.counter("simnet.fabric.delivered"),
+            dropped_loss: tel.counter("simnet.fabric.dropped_loss"),
+            dropped_unreachable: tel.counter("simnet.fabric.dropped_unreachable"),
+            pkts_dropped: tel.counter("simnet.fabric.pkts_dropped"),
+            pkt_bytes: tel.histogram("simnet.fabric.pkt_bytes"),
+            tel,
+        }
+    }
+}
+
+fn endpoint_id(addr: Addr) -> EndpointId {
+    EndpointId::new(addr.node.0, addr.port)
+}
+
 struct FabricInner {
     cfg: WireConfig,
     endpoints: RwLock<HashMap<Addr, Sender<WirePacket>>>,
@@ -98,6 +132,7 @@ struct FabricInner {
     /// pacing (links are full-duplex: each node paces its own TX).
     link_free_at: Mutex<HashMap<crate::wire::NodeId, Instant>>,
     delay_line: Option<Arc<DelayLine>>,
+    tel: FabricTel,
 }
 
 /// A shared handle to the simulated network. Cloning is cheap; all clones
@@ -126,6 +161,7 @@ impl Fabric {
             delay_seq: AtomicU64::new(0),
             link_free_at: Mutex::new(HashMap::new()),
             delay_line,
+            tel: FabricTel::new(),
         });
         if let Some(dl) = &inner.delay_line {
             let dl = Arc::clone(dl);
@@ -155,6 +191,28 @@ impl Fabric {
     #[must_use]
     pub fn stats(&self) -> &FabricStats {
         &self.inner.stats
+    }
+
+    /// The telemetry domain for everything running over this fabric:
+    /// wire counters land here, and upper layers (conduits, devices, QPs,
+    /// the socket shim) register theirs in the same domain so one
+    /// snapshot covers the whole stack.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.tel.tel
+    }
+
+    /// Packets accepted by [`transmit`](Endpoint::send_to) but not yet
+    /// delivered or dropped — the occupancy of the propagation-delay
+    /// line. Zero on latency-free fabrics, where delivery is synchronous.
+    /// Together with the telemetry counters this gives packet
+    /// conservation: `tx_packets == delivered + dropped + in_flight`.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        match &self.inner.delay_line {
+            Some(dl) => dl.queue.lock().len(),
+            None => 0,
+        }
     }
 
     /// Binds an endpoint at `addr`. Fails with [`NetError::AddrInUse`] if
@@ -248,6 +306,19 @@ impl Fabric {
         stats
             .tx_bytes
             .fetch_add(pkt.payload.len() as u64, Ordering::Relaxed);
+        let tel = &self.inner.tel;
+        tel.tx_packets.inc();
+        tel.tx_bytes.add(pkt.payload.len() as u64);
+        tel.pkt_bytes.record(pkt.payload.len() as u64);
+        if tel.tel.tracer().armed() {
+            tel.tel.tracer().record(
+                tel.tel.now_nanos(),
+                endpoint_id(pkt.src),
+                EventKind::Tx,
+                pkt.payload.len() as u64,
+                endpoint_id(pkt.dst).0.into(),
+            );
+        }
 
         // Serialization-delay pacing: the shared link transmits one packet
         // at a time at `bandwidth_bps`.
@@ -275,6 +346,17 @@ impl Fabric {
             let (rng, state) = &mut *guard;
             if state.should_drop(&cfg.loss, rng) {
                 stats.dropped_loss.fetch_add(1, Ordering::Relaxed);
+                tel.dropped_loss.inc();
+                tel.pkts_dropped.inc();
+                if tel.tel.tracer().armed() {
+                    tel.tel.tracer().record(
+                        tel.tel.now_nanos(),
+                        endpoint_id(pkt.dst),
+                        EventKind::Drop,
+                        pkt.payload.len() as u64,
+                        endpoint_id(pkt.src).0.into(),
+                    );
+                }
                 return Ok(());
             }
         }
@@ -312,25 +394,58 @@ impl Fabric {
             }
             if any {
                 self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                self.trace_rx(&pkt);
             } else {
-                self.inner
-                    .stats
-                    .dropped_unreachable
-                    .fetch_add(1, Ordering::Relaxed);
+                self.count_unreachable(&pkt);
             }
             return;
         }
-        let eps = self.inner.endpoints.read();
-        if let Some(tx) = eps.get(&pkt.dst) {
-            if tx.send(pkt).is_ok() {
-                self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                return;
+        let delivered = {
+            let eps = self.inner.endpoints.read();
+            match eps.get(&pkt.dst) {
+                Some(tx) => tx.send(pkt.clone()).is_ok(),
+                None => false,
             }
+        };
+        if delivered {
+            self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            self.trace_rx(&pkt);
+        } else {
+            self.count_unreachable(&pkt);
         }
+    }
+
+    fn trace_rx(&self, pkt: &WirePacket) {
+        let tel = &self.inner.tel;
+        tel.delivered.inc();
+        if tel.tel.tracer().armed() {
+            tel.tel.tracer().record(
+                tel.tel.now_nanos(),
+                endpoint_id(pkt.dst),
+                EventKind::Rx,
+                pkt.payload.len() as u64,
+                endpoint_id(pkt.src).0.into(),
+            );
+        }
+    }
+
+    fn count_unreachable(&self, pkt: &WirePacket) {
         self.inner
             .stats
             .dropped_unreachable
             .fetch_add(1, Ordering::Relaxed);
+        let tel = &self.inner.tel;
+        tel.dropped_unreachable.inc();
+        tel.pkts_dropped.inc();
+        if tel.tel.tracer().armed() {
+            tel.tel.tracer().record(
+                tel.tel.now_nanos(),
+                endpoint_id(pkt.dst),
+                EventKind::Drop,
+                pkt.payload.len() as u64,
+                endpoint_id(pkt.src).0.into(),
+            );
+        }
     }
 }
 

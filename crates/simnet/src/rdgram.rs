@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
+use iwarp_telemetry::{Counter, EndpointId, EventKind, Telemetry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::dgram::DgramConduit;
@@ -73,12 +74,22 @@ struct St {
     shutdown: bool,
 }
 
+/// Telemetry handles resolved once at bind time.
+struct RdTel {
+    tel: Telemetry,
+    tx_msgs: Counter,
+    rx_msgs: Counter,
+    retransmits: Counter,
+    acks_tx: Counter,
+}
+
 struct Inner {
     dg: DgramConduit,
     cfg: RdConfig,
     st: Mutex<St>,
     readable: Condvar,
     writable: Condvar,
+    tel: RdTel,
 }
 
 impl Inner {
@@ -100,6 +111,7 @@ impl Inner {
         b.put_u8(TYPE_ACK);
         b.put_u64(rx.rcv_nxt);
         b.put_u64(bitmap);
+        self.tel.acks_tx.inc();
         let _ = self.dg.send_to(dst, b.freeze());
     }
 
@@ -118,11 +130,13 @@ impl Inner {
                 if seq == rx.rcv_nxt {
                     rx.rcv_nxt += 1;
                     st.ready.push_back((src, payload));
+                    self.tel.rx_msgs.inc();
                     // Drain contiguous out-of-order messages.
                     let rx = st.rx.get_mut(&src).expect("present");
                     while let Some(p) = rx.ooo.remove(&rx.rcv_nxt) {
                         rx.rcv_nxt += 1;
                         st.ready.push_back((src, p));
+                        self.tel.rx_msgs.inc();
                     }
                     self.readable.notify_all();
                 } else if seq > rx.rcv_nxt {
@@ -163,6 +177,17 @@ impl Inner {
                         break;
                     }
                     let payload = entry.0.clone();
+                    self.tel.retransmits.inc();
+                    if self.tel.tel.tracer().armed() {
+                        let local = self.dg.local_addr();
+                        self.tel.tel.tracer().record(
+                            self.tel.tel.now_nanos(),
+                            EndpointId::new(local.node.0, local.port),
+                            EventKind::Retransmit,
+                            payload.len() as u64,
+                            seq,
+                        );
+                    }
                     let mut b = BytesMut::with_capacity(DATA_HEADER + payload.len());
                     b.put_u8(TYPE_DATA);
                     b.put_u64(seq);
@@ -198,9 +223,18 @@ impl RdConduit {
     }
 
     fn wrap(dg: DgramConduit, cfg: RdConfig) -> NetResult<Self> {
+        let t = dg.fabric().telemetry().clone();
+        let tel = RdTel {
+            tx_msgs: t.counter("simnet.rdgram.tx_msgs"),
+            rx_msgs: t.counter("simnet.rdgram.rx_msgs"),
+            retransmits: t.counter("simnet.rdgram.retransmits"),
+            acks_tx: t.counter("simnet.rdgram.acks_tx"),
+            tel: t,
+        };
         let inner = Arc::new(Inner {
             dg,
             cfg,
+            tel,
             st: Mutex::new(St {
                 tx: HashMap::new(),
                 rx: HashMap::new(),
@@ -290,6 +324,7 @@ impl RdConduit {
                 tx.next_seq += 1;
                 tx.unacked
                     .insert(seq, (payload.clone(), Instant::now(), 0));
+                inner.tel.tx_msgs.inc();
                 inner.send_data(dst, seq, &payload);
                 return Ok(());
             }

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
+use iwarp_telemetry::{Counter, EndpointId, EventKind, Telemetry};
 use parking_lot::{Condvar, Mutex};
 
 use iwarp_common::memacct::{MemRegistry, MemScope};
@@ -216,6 +217,16 @@ impl St {
     }
 }
 
+/// Telemetry handles resolved once per connection (loss-path only, but a
+/// registry round-trip per retransmit would still be needless).
+struct StreamTel {
+    tel: Telemetry,
+    retransmits: Counter,
+    fast_retransmits: Counter,
+    rto_retransmits: Counter,
+    zero_window_probes: Counter,
+}
+
 struct Inner {
     ep: Endpoint,
     cfg: StreamConfig,
@@ -224,6 +235,7 @@ struct Inner {
     readable: Condvar,
     writable: Condvar,
     established: Condvar,
+    tel: StreamTel,
     _mem: Mutex<Option<MemScope>>,
 }
 
@@ -380,6 +392,7 @@ impl Inner {
             } else if seg.ack == st.snd_una && st.in_flight() > 0 && seg.payload.is_empty() {
                 st.dup_acks += 1;
                 if st.dup_acks == 3 {
+                    self.tel.fast_retransmits.inc();
                     self.retransmit_head(st);
                 }
             }
@@ -469,6 +482,17 @@ impl Inner {
 
     /// Retransmits the oldest unacknowledged segment (or SYN/FIN).
     fn retransmit_head(&self, st: &mut St) {
+        self.tel.retransmits.inc();
+        if self.tel.tel.tracer().armed() {
+            let local = self.ep.local_addr();
+            self.tel.tel.tracer().record(
+                self.tel.tel.now_nanos(),
+                EndpointId::new(local.node.0, local.port),
+                EventKind::Retransmit,
+                st.in_flight(),
+                st.snd_una,
+            );
+        }
         match st.conn {
             Conn::SynSent => {
                 self.tx(st, FLAG_SYN, 0, Bytes::new());
@@ -509,6 +533,7 @@ impl Inner {
         if st.conn == Conn::Established && st.in_flight() == 0 {
             if st.unsent() > 0 && st.snd_wnd == 0 {
                 // Zero-window probe: push one byte past the window.
+                self.tel.zero_window_probes.inc();
                 let payload = st.slice_send_q(0, 1);
                 let seq = st.snd_nxt;
                 st.snd_nxt += 1;
@@ -518,6 +543,7 @@ impl Inner {
                 return;
             }
         } else {
+            self.tel.rto_retransmits.inc();
             self.retransmit_head(st);
         }
         st.rto_cur = (st.rto_cur * 2).min(self.cfg.rto_max);
@@ -665,9 +691,18 @@ impl StreamConduit {
             Conn::SynReceived => (0, 1, 1),
             _ => unreachable!("streams start in a handshake state"),
         };
+        let t = ep.fabric().telemetry().clone();
+        let tel = StreamTel {
+            retransmits: t.counter("simnet.stream.retransmits"),
+            fast_retransmits: t.counter("simnet.stream.fast_retransmits"),
+            rto_retransmits: t.counter("simnet.stream.rto_retransmits"),
+            zero_window_probes: t.counter("simnet.stream.zero_window_probes"),
+            tel: t,
+        };
         let inner = Arc::new(Inner {
             ep,
             mss,
+            tel,
             st: Mutex::new(St {
                 conn,
                 peer,

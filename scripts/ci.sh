@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 gate plus lint, exactly what CI runs. Usage: scripts/ci.sh
+#
+# The build is fully offline: every external crate resolves to a vendored
+# shim under shims/ (see ROADMAP.md), so no registry access is needed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root-package full-stack tests)"
+cargo test -q
+
+echo "==> cargo test --workspace -q (per-crate suites)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -1,0 +1,403 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the subset of the criterion API its benches use: groups, `BenchmarkId`,
+//! `Throughput`, `Bencher::{iter, iter_batched}`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a plain
+//! wall-clock sampler (median of `sample_size` samples after a warm-up),
+//! with no statistical regression analysis or HTML reports — numbers print
+//! to stdout, one line per benchmark.
+//!
+//! `--test` (passed by `cargo test --benches`) runs every benchmark body
+//! once without timing; a positional argument filters benchmarks by
+//! substring, like upstream.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// computation whose result is unused.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a benchmark's work scales, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (the shim times each
+/// batch of one regardless; the variants exist for API parity).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: function label plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function label and a parameter value.
+    pub fn new(label: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = label.into();
+        let _ = write!(id, "/{parameter}");
+        Self { id }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Sampling settings shared by [`Criterion`] and its groups.
+#[derive(Clone, Copy, Debug)]
+struct Sampling {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Sampling {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sampling: Sampling,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies the subset of upstream CLI flags the shim understands.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Cargo/criterion plumbing flags with no shim meaning.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                a if a.starts_with("--") => {}
+                a => self.filter = Some(a.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sampling: Sampling::default(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sampling = self.sampling;
+        self.run_one(None, &id.into(), sampling, None, &mut f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        group: Option<&str>,
+        id: &BenchmarkId,
+        sampling: Sampling,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let full = match group {
+            Some(g) => format!("{g}/{}", id.id),
+            None => id.id.clone(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sampling,
+            test_mode: self.test_mode,
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{full}: test passed");
+            return;
+        }
+        let ns = bencher.ns_per_iter;
+        let mut line = format!("{full}: {} /iter", fmt_ns(ns));
+        if let Some(tp) = throughput {
+            let per_sec = |units: u64| units as f64 / (ns / 1e9);
+            match tp {
+                Throughput::Bytes(b) => {
+                    let _ = write!(line, ", {:.1} MiB/s", per_sec(b) / (1024.0 * 1024.0));
+                }
+                Throughput::Elements(e) => {
+                    let _ = write!(line, ", {:.0} elem/s", per_sec(e));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sampling: Sampling,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sampling.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.sampling.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the sampling phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.sampling.measurement_time = d;
+        self
+    }
+
+    /// Declares this group's per-iteration work for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sampling, throughput) = (self.sampling, self.throughput);
+        self.criterion
+            .run_one(Some(&self.name), &id.into(), sampling, throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let (sampling, throughput) = (self.sampling, self.throughput);
+        self.criterion
+            .run_one(Some(&self.name), &id, sampling, throughput, &mut |b| {
+                f(b, input);
+            });
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    sampling: Sampling,
+    test_mode: bool,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up doubles as rate estimation.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.sampling.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = self.sampling.warm_up_time.as_nanos() as f64 / warm_iters as f64;
+        let budget_ns = self.sampling.measurement_time.as_nanos() as f64;
+        let per_sample =
+            ((budget_ns / self.sampling.sample_size as f64 / est_ns.max(1.0)) as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sampling.sample_size);
+        for _ in 0..self.sampling.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.sampling.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let est_ns = self.sampling.warm_up_time.as_nanos() as f64 / warm_iters as f64;
+        let budget_ns = self.sampling.measurement_time.as_nanos() as f64;
+        let per_sample =
+            ((budget_ns / self.sampling.sample_size as f64 / est_ns.max(1.0)) as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sampling.sample_size);
+        for _ in 0..self.sampling.sample_size {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_sampling(c: &mut Criterion) {
+        c.sampling = Sampling {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+    }
+
+    #[test]
+    fn times_a_trivial_routine() {
+        let mut c = Criterion::default();
+        fast_sampling(&mut c);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Bytes(8));
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &x| {
+            ran = true;
+            b.iter(|| x + 1);
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut count = 0;
+        c.bench_function("once", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+}

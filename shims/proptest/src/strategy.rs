@@ -1,0 +1,262 @@
+//! Value-generation strategies (no shrinking — see crate docs).
+
+use std::marker::PhantomData;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value` from a seeded RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (stand-in for upstream's
+/// `Arbitrary` + `Standard` distribution).
+pub trait ArbitraryValue: Sized {
+    /// Draws a uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniformly samples any value of `T`.
+#[must_use]
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width u64 range.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Strategy built from a plain generation function (`prop_compose!`).
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F> FnStrategy<F> {
+    /// Wraps `f` as a strategy.
+    pub fn new<T>(f: F) -> Self
+    where
+        F: Fn(&mut TestRng) -> T,
+    {
+        Self { f }
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// The `[class]{m,n}` regex subset: `&'static str` as a `String` strategy.
+///
+/// Supported syntax: a sequence of atoms, each a char class `[...]`
+/// (literal chars plus `a-z` ranges; `-` last is literal) or a literal
+/// character, optionally followed by `{m,n}` / `{n}` repetition. This
+/// covers every pattern used in the workspace's tests; anything else
+/// panics so a new pattern fails loudly rather than silently mismatching.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {self:?}"))
+                        + i;
+                    let class = &chars[i + 1..close];
+                    i = close + 1;
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < class.len() {
+                        if j + 2 < class.len() && class[j + 1] == '-' {
+                            for c in class[j]..=class[j + 2] {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(class[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty char class in {self:?}");
+                    set
+                }
+                ']' | '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '\\' => {
+                    panic!("unsupported regex syntax {:?} in {self:?}", chars[i])
+                }
+                lit => {
+                    i += 1;
+                    vec![lit]
+                }
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {self:?}"))
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().expect("repeat lower bound"),
+                        b.trim().parse::<usize>().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let n = lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                let k = (rng.next_u64() % alphabet.len() as u64) as usize;
+                out.push(alphabet[k]);
+            }
+        }
+        out
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`net`] — the simulated fabric and transport conduits;
 //! * [`verbs`] — the iWARP stack itself (devices, QPs, CQs, MRs);
 //! * [`sockets`] — the socket interface over UD/RC queue pairs;
-//! * [`apps`] — the media-streaming and SIP evaluation workloads.
+//! * [`apps`] — the media-streaming and SIP evaluation workloads;
+//! * [`telemetry`] — stack-wide counters, histograms, and packet tracing
+//!   (reach it from a running stack via `fabric.telemetry()`).
 //!
 //! Start with `examples/quickstart.rs`, then see DESIGN.md for the system
 //! inventory and EXPERIMENTS.md for the figure-by-figure reproduction.
@@ -21,4 +23,5 @@ pub use iwarp_apps as apps;
 pub use iwarp_common as common;
 pub use iwarp_socket as sockets;
 pub use iwarp as verbs;
+pub use iwarp_telemetry as telemetry;
 pub use simnet as net;
