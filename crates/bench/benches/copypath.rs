@@ -1,0 +1,250 @@
+//! Criterion micro-benchmarks for the PR-2 zero-copy datapath kernels.
+//!
+//! Four groups, one per layer the scatter-gather work touches:
+//!
+//! * `encode`    — DDP header encode: legacy contiguous (header + payload
+//!   copy + CRC over the whole buffer) vs SG (pooled header chained with
+//!   the caller's payload slice).
+//! * `fragment`  — datagram fragmentation of an encoded 64 KiB segment:
+//!   legacy per-fragment alloc+copy vs `SgBytes::slice` windows.
+//! * `reassemble`— receive-side segment decode: flatten-then-decode
+//!   (legacy) vs `decode_sg` with deferred CRC settled against the
+//!   payload, and the fused `MemoryRegion::write_with_crc` placement.
+//! * `crc`       — the CRC32C kernels themselves: hardware (SSE4.2 when
+//!   available), scalar sliced-by-8, and the fused crc-while-copy.
+//!
+//! End-to-end numbers live in `figures --fig5 --fig6 --copy-path=...`;
+//! these isolate where the cycles go.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iwarp::buf::MrTable;
+use iwarp::hdr::{
+    decode, decode_sg, encode_tagged, encode_tagged_sg, encode_untagged, encode_untagged_sg,
+    RdmapOpcode, TaggedHdr, UntaggedHdr,
+};
+use iwarp::Access;
+use iwarp_common::crc32::{crc32c, crc32c_copy, crc32c_scalar, hw_acceleration_active};
+use iwarp_common::pool::BufPool;
+use iwarp_common::sg::SgBytes;
+
+const MTU_PAYLOAD: usize = 1408; // MTU minus frag/DDP framing, roughly
+const SEG_64K: usize = 64 * 1024;
+
+fn untagged_hdr(total_len: u32) -> UntaggedHdr {
+    UntaggedHdr {
+        opcode: RdmapOpcode::Send,
+        last: true,
+        qn: 0,
+        msn: 7,
+        mo: 0,
+        total_len,
+        src_qpn: 11,
+        msg_id: 0xFEED_0001,
+        solicited: false,
+    }
+}
+
+fn tagged_hdr(total_len: u32) -> TaggedHdr {
+    TaggedHdr {
+        opcode: RdmapOpcode::WriteRecord,
+        last: true,
+        notify: true,
+        stag: 42,
+        to: 4096,
+        base_to: 4096,
+        total_len,
+        src_qpn: 11,
+        msg_id: 0xFEED_0002,
+        imm: 0,
+    }
+}
+
+fn payload(len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i * 131 + 7) as u8).collect::<Vec<u8>>())
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let pool = BufPool::new();
+    for &size in &[MTU_PAYLOAD, SEG_64K] {
+        let mut g = c.benchmark_group("encode");
+        g.throughput(Throughput::Bytes(size as u64));
+        let data = payload(size);
+        g.bench_with_input(BenchmarkId::new("untagged_legacy", size), &data, |b, d| {
+            b.iter(|| encode_untagged(&untagged_hdr(d.len() as u32), d, true));
+        });
+        g.bench_with_input(BenchmarkId::new("untagged_sg", size), &data, |b, d| {
+            b.iter(|| encode_untagged_sg(&untagged_hdr(d.len() as u32), d, &pool));
+        });
+        g.bench_with_input(BenchmarkId::new("tagged_legacy", size), &data, |b, d| {
+            b.iter(|| encode_tagged(&tagged_hdr(d.len() as u32), d, true));
+        });
+        g.bench_with_input(BenchmarkId::new("tagged_sg", size), &data, |b, d| {
+            b.iter(|| encode_tagged_sg(&tagged_hdr(d.len() as u32), d, &pool));
+        });
+        g.finish();
+    }
+}
+
+fn bench_fragment(c: &mut Criterion) {
+    let pool = BufPool::new();
+    let seg_sg = encode_tagged_sg(&tagged_hdr(SEG_64K as u32), &payload(SEG_64K), &pool);
+    let seg_flat = seg_sg.to_bytes();
+    let mut g = c.benchmark_group("fragment");
+    g.throughput(Throughput::Bytes(seg_sg.len() as u64));
+
+    // Legacy: each MTU window is a fresh alloc + copy (frag header + body),
+    // exactly what the contiguous conduit path used to do per fragment.
+    g.bench_with_input(
+        BenchmarkId::new("legacy_copy", seg_flat.len()),
+        &seg_flat,
+        |b, flat| {
+            b.iter(|| {
+                let mut sent = 0usize;
+                let mut off = 0usize;
+                while off < flat.len() {
+                    let end = (off + MTU_PAYLOAD).min(flat.len());
+                    let mut frame = Vec::with_capacity(13 + (end - off));
+                    frame.extend_from_slice(&[0u8; 13]); // frag header stand-in
+                    frame.extend_from_slice(&flat[off..end]);
+                    sent += frame.len();
+                    criterion::black_box(frame);
+                    off = end;
+                }
+                sent
+            });
+        },
+    );
+
+    // SG: each window is an O(parts) Arc-bump slice; the frag header is a
+    // pooled 13-byte buffer.
+    g.bench_with_input(
+        BenchmarkId::new("sg_slice", seg_sg.len()),
+        &seg_sg,
+        |b, sg| {
+            b.iter(|| {
+                let mut sent = 0usize;
+                let mut off = 0usize;
+                while off < sg.len() {
+                    let end = (off + MTU_PAYLOAD).min(sg.len());
+                    let hdr = pool.get(13).freeze();
+                    let window = sg.slice(off, end);
+                    sent += hdr.len() + window.len();
+                    criterion::black_box((hdr, window));
+                    off = end;
+                }
+                sent
+            });
+        },
+    );
+    g.finish();
+}
+
+fn bench_reassemble(c: &mut Criterion) {
+    let pool = BufPool::new();
+    let data = payload(SEG_64K);
+    let seg_sg = encode_tagged_sg(&tagged_hdr(SEG_64K as u32), &data, &pool);
+
+    // A delivery as the RX path sees it: the segment re-fragmented into
+    // MTU-sized parts (each part a zero-copy view, as `recv_sg_from`
+    // produces after fragment reassembly).
+    let mut delivery = SgBytes::with_capacity(seg_sg.len() / MTU_PAYLOAD + 2);
+    let mut off = 0usize;
+    while off < seg_sg.len() {
+        let end = (off + MTU_PAYLOAD).min(seg_sg.len());
+        for part in seg_sg.slice(off, end).parts() {
+            delivery.push(part.clone());
+        }
+        off = end;
+    }
+
+    let mut g = c.benchmark_group("reassemble");
+    g.throughput(Throughput::Bytes(delivery.len() as u64));
+
+    g.bench_with_input(
+        BenchmarkId::new("flatten_then_decode", delivery.len()),
+        &delivery,
+        |b, d| {
+            b.iter(|| {
+                let flat = d.to_bytes(); // the copy the SG path avoids
+                decode(&flat, true).expect("decode")
+            });
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("decode_sg_deferred", delivery.len()),
+        &delivery,
+        |b, d| {
+            b.iter(|| {
+                let (seg, pending) = decode_sg(d, true).expect("decode_sg");
+                let iwarp::hdr::DdpSegment::Tagged { payload, .. } = &seg else {
+                    unreachable!()
+                };
+                assert!(pending.expect("multi-part defers").verify(payload));
+                seg
+            });
+        },
+    );
+
+    // Placement into a registered region: decode + copy + CRC, the full
+    // receive tail. Legacy checks then copies; SG fuses both passes.
+    let mr = MrTable::new().register(SEG_64K + 8192, Access::RemoteWrite);
+    g.bench_with_input(
+        BenchmarkId::new("place_check_then_copy", delivery.len()),
+        &delivery,
+        |b, d| {
+            b.iter(|| {
+                let flat = d.to_bytes();
+                let iwarp::hdr::DdpSegment::Tagged { hdr, payload } =
+                    decode(&flat, true).expect("decode")
+                else {
+                    unreachable!()
+                };
+                mr.write(hdr.to, &payload).expect("place");
+            });
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("place_fused_crc", delivery.len()),
+        &delivery,
+        |b, d| {
+            b.iter(|| {
+                let (seg, pending) = decode_sg(d, true).expect("decode_sg");
+                let iwarp::hdr::DdpSegment::Tagged { hdr, payload } = seg else {
+                    unreachable!()
+                };
+                mr.write_with_crc(hdr.to, &payload, &pending.expect("deferred"))
+                    .expect("fused place");
+            });
+        },
+    );
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = payload(SEG_64K);
+    let mut dst = vec![0u8; SEG_64K];
+    let mut g = c.benchmark_group("crc");
+    g.throughput(Throughput::Bytes(SEG_64K as u64));
+    let hw = if hw_acceleration_active() { "sse42" } else { "scalar-fallback" };
+    g.bench_with_input(BenchmarkId::new("auto", hw), &data, |b, d| {
+        b.iter(|| crc32c(d));
+    });
+    g.bench_with_input(BenchmarkId::new("scalar", "sliced8"), &data, |b, d| {
+        b.iter(|| crc32c_scalar(d));
+    });
+    g.bench_with_input(BenchmarkId::new("fused", "crc_while_copy"), &data, |b, d| {
+        b.iter(|| crc32c_copy(d, &mut dst));
+    });
+    g.bench_with_input(BenchmarkId::new("split", "crc_then_copy"), &data, |b, d| {
+        b.iter(|| {
+            let crc = crc32c(d);
+            dst.copy_from_slice(d);
+            crc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_fragment, bench_reassemble, bench_crc);
+criterion_main!(benches);

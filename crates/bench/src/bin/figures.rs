@@ -35,6 +35,17 @@ struct Args {
     telemetry: bool,
 }
 
+/// Applies `--copy-path {legacy,sg}`: every QP/conduit built afterwards
+/// picks the path up from the process-wide default, so one flag A/Bs the
+/// whole stack (Fig. 5/6 under both datapaths feed `BENCH_PR2.json`).
+fn set_copy_path(spec: &str) {
+    let Some(path) = iwarp_common::copypath::CopyPath::parse(spec) else {
+        eprintln!("--copy-path takes 'legacy' or 'sg', got {spec:?}");
+        std::process::exit(2);
+    };
+    iwarp_common::copypath::set_default(path);
+}
+
 fn parse_args() -> Args {
     let mut figs = Vec::new();
     let mut quick = false;
@@ -64,12 +75,19 @@ fn parse_args() -> Args {
                     .map(|s| s.parse().expect("--calls takes e.g. 100,1000"))
                     .collect();
             }
+            "--copy-path" => {
+                i += 1;
+                set_copy_path(&argv[i]);
+            }
+            p if p.starts_with("--copy-path=") => {
+                set_copy_path(p.trim_start_matches("--copy-path="));
+            }
             f if f.starts_with("--fig") || f == "--overhead" || f == "--ext" => {
                 figs.push(f.trim_start_matches("--").to_owned());
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: figures [--all] [--fig5..--fig11] [--overhead] [--ext] [--quick] [--fast-fabric] [--telemetry] [--calls a,b,c] [--out DIR]");
+                eprintln!("usage: figures [--all] [--fig5..--fig11] [--overhead] [--ext] [--quick] [--fast-fabric] [--telemetry] [--copy-path {{legacy,sg}}] [--calls a,b,c] [--out DIR]");
                 std::process::exit(2);
             }
         }
@@ -757,8 +775,9 @@ fn ext(args: &Args) {
 fn main() {
     let args = parse_args();
     println!(
-        "datagram-iWARP figure harness — fabric: {:?}{}",
+        "datagram-iWARP figure harness — fabric: {:?}, copy path: {}{}",
         args.fabric,
+        iwarp_common::copypath::default_path(),
         if args.quick { " (quick)" } else { "" }
     );
     let t0 = std::time::Instant::now();

@@ -1,0 +1,86 @@
+//! Process-wide default for which datapath new endpoints use.
+//!
+//! The zero-copy work keeps the legacy contiguous datapath alive so the
+//! two can be A/B-ed (`figures --copy-path={legacy,sg}`) and regression
+//! tested for byte equivalence. The selection itself is a per-QP/conduit
+//! configuration knob; this module only stores the *default* that those
+//! configs pick up at construction time, so tests can still pin a path
+//! explicitly without racing on global state.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which transmit datapath an endpoint uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyPath {
+    /// Contiguous buffers with a copy per layer (header encode, per-
+    /// fragment copy). Kept as the reference implementation.
+    Legacy,
+    /// Scatter-gather: pooled header buffers chained with payload slices;
+    /// fragmentation by slicing. The default.
+    Sg,
+}
+
+impl CopyPath {
+    /// Parses the `--copy-path` CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "legacy" => Some(Self::Legacy),
+            "sg" => Some(Self::Sg),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Legacy => "legacy",
+            Self::Sg => "sg",
+        }
+    }
+}
+
+impl std::fmt::Display for CopyPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+static DEFAULT: AtomicU8 = AtomicU8::new(1); // 1 = Sg
+
+/// Sets the process-wide default path picked up by endpoint configs at
+/// construction time (e.g. from `figures --copy-path=legacy`).
+pub fn set_default(path: CopyPath) {
+    DEFAULT.store(
+        match path {
+            CopyPath::Legacy => 0,
+            CopyPath::Sg => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-wide default path.
+#[must_use]
+pub fn default_path() -> CopyPath {
+    if DEFAULT.load(Ordering::Relaxed) == 0 {
+        CopyPath::Legacy
+    } else {
+        CopyPath::Sg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(CopyPath::parse("legacy"), Some(CopyPath::Legacy));
+        assert_eq!(CopyPath::parse("sg"), Some(CopyPath::Sg));
+        assert_eq!(CopyPath::parse("fast"), None);
+        assert_eq!(CopyPath::Sg.as_str(), "sg");
+        assert_eq!(CopyPath::Legacy.to_string(), "legacy");
+    }
+}

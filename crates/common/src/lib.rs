@@ -16,11 +16,22 @@
 //!   workloads are reproducible.
 //! * [`stats`] — tiny summary-statistics helpers shared by the benchmark
 //!   harness and application measurements.
+//! * [`pool`] — a sharded buffer pool for the zero-copy datapath (header
+//!   buffers, reassembly buffers, rx staging) with hit/miss/recycle stats.
+//! * [`sg`] — [`sg::SgBytes`], the scatter-gather byte list that lets wire
+//!   packets chain a pooled header in front of caller-owned payload slices
+//!   without copying either.
+//! * [`copypath`] — the process-wide default for which datapath
+//!   ([`copypath::CopyPath::Sg`] or [`copypath::CopyPath::Legacy`]) newly
+//!   created QPs use, so benches can A/B the two.
 
 #![warn(missing_docs)]
 
+pub mod copypath;
 pub mod crc32;
 pub mod memacct;
+pub mod pool;
 pub mod rng;
+pub mod sg;
 pub mod stats;
 pub mod validity;

@@ -1,0 +1,328 @@
+//! Sharded buffer pool for the zero-copy datapath.
+//!
+//! The scatter-gather datapath still needs short-lived allocations —
+//! header buffers in front of payload slices, reassembly buffers for
+//! multi-fragment datagrams, rx staging — and allocating them fresh per
+//! packet would trade the copy cost for allocator cost. [`BufPool`] keeps
+//! per-size-class free lists behind sharded mutexes (one lock per class,
+//! held for a few pointer moves) and recycles buffers even after they have
+//! been frozen into immutable [`Bytes`]: freezing retains a clone of the
+//! shared storage, and a later `get` reclaims any storage whose reference
+//! count has dropped back to one.
+//!
+//! The pool also carries the datapath's copy discipline accounting:
+//! [`PoolStats`] exposes hit/miss/recycle counters that
+//! `iwarp-telemetry` folds into every snapshot (as `pool.hits` etc.), so
+//! copy elimination is measurable rather than asserted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// log2 of the smallest size class (64 B — covers DDP/fragment headers).
+const MIN_SHIFT: u32 = 6;
+/// log2 of the largest size class (128 KiB — covers a max datagram plus
+/// framing with room to spare).
+const MAX_SHIFT: u32 = 17;
+/// Number of size classes.
+const CLASSES: usize = (MAX_SHIFT - MIN_SHIFT + 1) as usize;
+/// Free buffers retained per class; beyond this, returned buffers are
+/// simply dropped so an idle pool cannot pin unbounded memory.
+const PER_CLASS_CAP: usize = 64;
+
+/// Shared, monotonically increasing pool counters.
+///
+/// Cloneable handle onto the same cells; `iwarp-telemetry` attaches one
+/// per fabric and reports it in snapshots.
+#[derive(Clone, Default, Debug)]
+pub struct PoolStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Default, Debug)]
+struct StatsInner {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+}
+
+impl PoolStats {
+    /// Requests served from a free list or a reclaimed frozen buffer.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to fall through to the allocator.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Frozen buffers whose storage was reclaimed after every [`Bytes`]
+    /// view of them was dropped.
+    #[must_use]
+    pub fn recycled(&self) -> u64 {
+        self.inner.recycled.load(Ordering::Relaxed)
+    }
+}
+
+/// One size class: plain free buffers plus frozen storage waiting for its
+/// views to be dropped.
+#[derive(Default)]
+struct Shard {
+    free: Vec<Vec<u8>>,
+    lent: Vec<Arc<Vec<u8>>>,
+}
+
+struct PoolInner {
+    shards: Vec<Mutex<Shard>>,
+    stats: PoolStats,
+}
+
+/// A sharded-mutex buffer pool handing out [`PoolBuf`] scratch buffers.
+///
+/// Cloning shares the pool (`Arc` bump). Requests larger than the biggest
+/// size class are served straight from the allocator and never retained.
+#[derive(Clone)]
+pub struct BufPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(PoolInner {
+                shards: (0..CLASSES).map(|_| Mutex::new(Shard::default())).collect(),
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// The pool's shared counters (attach to telemetry once per fabric).
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.inner.stats.clone()
+    }
+
+    /// Size class index for a request, or `None` when it exceeds the
+    /// largest pooled class.
+    fn class_for(len: usize) -> Option<usize> {
+        let shift = usize::BITS - len.max(1).next_power_of_two().leading_zeros() - 1;
+        let shift = shift.max(MIN_SHIFT);
+        (shift <= MAX_SHIFT).then(|| (shift - MIN_SHIFT) as usize)
+    }
+
+    /// Returns a zeroed scratch buffer of exactly `len` bytes.
+    ///
+    /// Drop it to return the storage to the free list, or
+    /// [`PoolBuf::freeze`] it into [`Bytes`] — frozen storage is reclaimed
+    /// automatically once the last view is dropped.
+    #[must_use]
+    pub fn get(&self, len: usize) -> PoolBuf {
+        let stats = &self.inner.stats.inner;
+        let (vec, class) = match Self::class_for(len) {
+            None => {
+                stats.misses.fetch_add(1, Ordering::Relaxed);
+                (Vec::with_capacity(len), None)
+            }
+            Some(class) => {
+                let mut shard = self.inner.shards[class].lock();
+                // Reclaim any frozen storage whose views are all gone.
+                let mut i = 0;
+                while i < shard.lent.len() {
+                    if Arc::strong_count(&shard.lent[i]) == 1 {
+                        let arc = shard.lent.swap_remove(i);
+                        if let Ok(vec) = Arc::try_unwrap(arc) {
+                            stats.recycled.fetch_add(1, Ordering::Relaxed);
+                            if shard.free.len() < PER_CLASS_CAP {
+                                shard.free.push(vec);
+                            }
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                match shard.free.pop() {
+                    Some(vec) => {
+                        stats.hits.fetch_add(1, Ordering::Relaxed);
+                        (vec, Some(class))
+                    }
+                    None => {
+                        stats.misses.fetch_add(1, Ordering::Relaxed);
+                        (
+                            Vec::with_capacity(1usize << (class as u32 + MIN_SHIFT)),
+                            Some(class),
+                        )
+                    }
+                }
+            }
+        };
+        let mut buf = PoolBuf {
+            vec: Some(vec),
+            class,
+            pool: Arc::clone(&self.inner),
+        };
+        let v = buf.vec.as_mut().expect("freshly constructed");
+        v.clear();
+        v.resize(len, 0);
+        buf
+    }
+
+    /// Buffers currently sitting on free lists (diagnostics/tests).
+    #[must_use]
+    pub fn free_buffers(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().free.len()).sum()
+    }
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufPool")
+            .field("free", &self.free_buffers())
+            .field("stats", &self.inner.stats)
+            .finish()
+    }
+}
+
+/// A mutable scratch buffer checked out of a [`BufPool`].
+///
+/// Dereferences to `[u8]` of the requested length (zero-filled). Either
+/// drop it (storage returns to the free list) or [`PoolBuf::freeze`] it
+/// into immutable [`Bytes`].
+pub struct PoolBuf {
+    vec: Option<Vec<u8>>,
+    class: Option<usize>,
+    pool: Arc<PoolInner>,
+}
+
+impl PoolBuf {
+    /// Freezes into immutable [`Bytes`] without copying.
+    ///
+    /// For pooled classes, the pool keeps a clone of the shared storage
+    /// and reclaims the allocation once every `Bytes` view (including
+    /// slices) has been dropped.
+    #[must_use]
+    pub fn freeze(mut self) -> Bytes {
+        let vec = self.vec.take().expect("freeze consumes the buffer");
+        match self.class {
+            None => Bytes::from(vec),
+            Some(class) => {
+                let arc = Arc::new(vec);
+                let bytes = Bytes::from_shared(Arc::clone(&arc));
+                let mut shard = self.pool.shards[class].lock();
+                if shard.lent.len() < PER_CLASS_CAP {
+                    shard.lent.push(arc);
+                }
+                bytes
+            }
+        }
+    }
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        if let (Some(vec), Some(class)) = (self.vec.take(), self.class) {
+            let mut shard = self.pool.shards[class].lock();
+            if shard.free.len() < PER_CLASS_CAP {
+                shard.free.push(vec);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for PoolBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.vec.as_deref().expect("live buffer")
+    }
+}
+
+impl std::ops::DerefMut for PoolBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.vec.as_deref_mut().expect("live buffer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(BufPool::class_for(0), Some(0));
+        assert_eq!(BufPool::class_for(1), Some(0));
+        assert_eq!(BufPool::class_for(64), Some(0));
+        assert_eq!(BufPool::class_for(65), Some(1));
+        assert_eq!(BufPool::class_for(128), Some(1));
+        assert_eq!(BufPool::class_for(1 << 17), Some(CLASSES - 1));
+        assert_eq!(BufPool::class_for((1 << 17) + 1), None);
+    }
+
+    #[test]
+    fn drop_returns_to_free_list_and_hits() {
+        let pool = BufPool::new();
+        let b = pool.get(100);
+        assert_eq!(b.len(), 100);
+        assert!(b.iter().all(|&x| x == 0));
+        drop(b);
+        assert_eq!(pool.free_buffers(), 1);
+        let mut b2 = pool.get(128);
+        b2[0] = 7;
+        assert_eq!(pool.stats().hits(), 1);
+        assert_eq!(pool.stats().misses(), 1);
+        // Different class → miss.
+        let _b3 = pool.get(4096);
+        assert_eq!(pool.stats().misses(), 2);
+    }
+
+    #[test]
+    fn frozen_storage_is_recycled_after_views_drop() {
+        let pool = BufPool::new();
+        let mut b = pool.get(64);
+        b.copy_from_slice(&[0xAB; 64]);
+        let frozen = b.freeze();
+        let slice = frozen.slice(8..16);
+        // Views alive → a new get cannot reclaim that storage.
+        let other = pool.get(64);
+        assert_eq!(pool.stats().recycled(), 0);
+        drop(other); // goes to free list
+        drop(frozen);
+        drop(slice);
+        let _again = pool.get(64);
+        assert_eq!(pool.stats().recycled(), 1);
+        // free list had `other` plus the reclaimed storage; one was handed out.
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn oversize_requests_bypass_the_pool() {
+        let pool = BufPool::new();
+        let b = pool.get((1 << 17) + 1);
+        assert_eq!(b.len(), (1 << 17) + 1);
+        let _ = b.freeze();
+        assert_eq!(pool.free_buffers(), 0);
+        assert_eq!(pool.stats().misses(), 1);
+    }
+
+    #[test]
+    fn zeroed_even_after_reuse() {
+        let pool = BufPool::new();
+        let mut b = pool.get(64);
+        b.copy_from_slice(&[0xFF; 64]);
+        drop(b);
+        let b2 = pool.get(32);
+        assert!(b2.iter().all(|&x| x == 0));
+        assert_eq!(b2.len(), 32);
+    }
+}

@@ -102,4 +102,19 @@ proptest! {
         let gaps: u64 = map.gaps(len).iter().map(|g| g.end - g.start).sum();
         prop_assert_eq!(covered + gaps, len);
     }
+
+    /// The hardware-dispatching CRC, the scalar sliced-by-8 kernel, and the
+    /// fused crc-while-copy routine agree for arbitrary inputs and
+    /// alignments (sub-slicing shifts alignment relative to 8-byte words).
+    #[test]
+    fn crc_kernels_agree(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                         skew in 0usize..8) {
+        use iwarp_common::crc32::{crc32c_copy, crc32c_scalar};
+        let data = &data[skew.min(data.len())..];
+        let auto = crc32c(data);
+        prop_assert_eq!(crc32c_scalar(data), auto);
+        let mut dst = vec![0u8; data.len()];
+        prop_assert_eq!(crc32c_copy(data, &mut dst), auto);
+        prop_assert_eq!(&dst[..], data);
+    }
 }

@@ -164,6 +164,48 @@ impl MemoryRegion {
         Ok(())
     }
 
+    /// Places `data` at `offset` while resolving a deferred CRC check —
+    /// the fused check-while-copy for the datapath's one mandatory copy.
+    ///
+    /// Bounds are checked before any byte moves. On digest mismatch the
+    /// bytes have already been placed (cut-through semantics, as on a
+    /// store-and-verify RNIC) but [`IwarpError::CrcMismatch`] tells the
+    /// engine to withhold the validity record and completion, so the
+    /// application never learns the range became valid.
+    ///
+    /// The region's aliasing model forbids forming references into the
+    /// storage (racing readers), so instead of handing the whole range to
+    /// [`Crc32c::update_copy`](iwarp_common::crc32::Crc32c::update_copy)
+    /// the copy and the (hardware-accelerated) digest interleave in
+    /// page-sized runs of the *source*, which stays L1-hot between the
+    /// two passes — the same single-traversal effect.
+    pub fn write_with_crc(
+        &self,
+        offset: u64,
+        data: &[u8],
+        pending: &crate::hdr::PendingCrc,
+    ) -> IwarpResult<()> {
+        let off = self.check(offset, data.len())?;
+        let mut state = pending.state();
+        // SAFETY: `off + data.len() <= len` was just checked; the buffer
+        // lives as long as `self`; byte-wise copy tolerates racing readers
+        // (see module-level safety model).
+        unsafe {
+            let base = (*self.inner.storage.get()).as_mut_ptr().add(off);
+            let mut done = 0usize;
+            while done < data.len() {
+                let n = (data.len() - done).min(4096);
+                std::ptr::copy_nonoverlapping(data.as_ptr().add(done), base.add(done), n);
+                state.update(&data[done..done + n]);
+                done += n;
+            }
+        }
+        if state.finish() != pending.expected() {
+            return Err(IwarpError::CrcMismatch);
+        }
+        Ok(())
+    }
+
     /// Copies `buf.len()` bytes starting at `offset` out of the region.
     pub fn read_into(&self, offset: u64, buf: &mut [u8]) -> IwarpResult<()> {
         let off = self.check(offset, buf.len())?;
@@ -412,6 +454,51 @@ mod tests {
             let got = mr.read_vec((i * 1024) as u64, 1024).unwrap();
             assert!(got.iter().all(|&b| b == i as u8), "chunk {i}");
         }
+    }
+
+    #[test]
+    fn fused_crc_write_places_and_verifies() {
+        use crate::hdr::{
+            decode_sg, encode_tagged_sg, DdpSegment, RdmapOpcode, TaggedHdr,
+        };
+        let pool = iwarp_common::pool::BufPool::new();
+        let payload: Vec<u8> = (0..9000u32).map(|i| (i % 253) as u8).collect();
+        let hdr = TaggedHdr {
+            opcode: RdmapOpcode::WriteRecord,
+            last: true,
+            notify: true,
+            stag: 1,
+            to: 64,
+            base_to: 64,
+            total_len: payload.len() as u32,
+            src_qpn: 3,
+            msg_id: 11,
+            imm: 0,
+        };
+        let sg = encode_tagged_sg(&hdr, &bytes::Bytes::from(payload.clone()), &pool);
+        let (seg, pending) = decode_sg(&sg, true).unwrap();
+        let pending = pending.expect("multi-part defers the CRC");
+        let DdpSegment::Tagged { payload: p, .. } = seg else {
+            panic!("tagged expected")
+        };
+
+        let t = MrTable::new();
+        let mr = t.register(16 * 1024, Access::RemoteWrite);
+        mr.write_with_crc(64, &p, &pending).unwrap();
+        assert_eq!(mr.read_vec(64, payload.len()).unwrap(), payload);
+
+        // Corrupt payload: bytes land (cut-through) but the check fails.
+        let mut bad = p.to_vec();
+        bad[100] ^= 0x80;
+        assert_eq!(
+            mr.write_with_crc(64, &bad, &pending).unwrap_err(),
+            IwarpError::CrcMismatch
+        );
+        // Out of bounds is refused before any byte moves.
+        assert!(matches!(
+            mr.write_with_crc(16 * 1024 - 8, &p, &pending).unwrap_err(),
+            IwarpError::AccessViolation { .. }
+        ));
     }
 
     #[test]

@@ -23,7 +23,9 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use iwarp_common::crc32::crc32c;
+use iwarp_common::crc32::{crc32c, Crc32c};
+use iwarp_common::pool::BufPool;
+use iwarp_common::sg::SgBytes;
 
 use crate::error::{IwarpError, IwarpResult};
 
@@ -165,11 +167,11 @@ impl DdpSegment {
     }
 }
 
-/// Encodes an untagged segment; appends a CRC32 trailer when `with_crc`.
-#[must_use]
-pub fn encode_untagged(hdr: &UntaggedHdr, payload: &[u8], with_crc: bool) -> Bytes {
-    let cap = UNTAGGED_HDR_LEN + payload.len() + if with_crc { CRC_LEN } else { 0 };
-    let mut b = BytesMut::with_capacity(cap);
+/// Serializes an untagged header into its fixed wire form. Single source
+/// of truth shared by the contiguous and scatter-gather encoders so the
+/// two datapaths cannot drift apart byte-wise.
+fn untagged_hdr_bytes(hdr: &UntaggedHdr) -> [u8; UNTAGGED_HDR_LEN] {
+    let mut b = [0u8; UNTAGGED_HDR_LEN];
     let mut ctrl = CTRL_VERSION;
     if hdr.last {
         ctrl |= CTRL_LAST;
@@ -177,14 +179,46 @@ pub fn encode_untagged(hdr: &UntaggedHdr, payload: &[u8], with_crc: bool) -> Byt
     if hdr.solicited {
         ctrl |= CTRL_SOLICITED;
     }
-    b.put_u8(ctrl);
-    b.put_u8(hdr.opcode as u8);
-    b.put_u32(hdr.qn);
-    b.put_u32(hdr.msn);
-    b.put_u32(hdr.mo);
-    b.put_u32(hdr.total_len);
-    b.put_u32(hdr.src_qpn);
-    b.put_u64(hdr.msg_id);
+    b[0] = ctrl;
+    b[1] = hdr.opcode as u8;
+    b[2..6].copy_from_slice(&hdr.qn.to_be_bytes());
+    b[6..10].copy_from_slice(&hdr.msn.to_be_bytes());
+    b[10..14].copy_from_slice(&hdr.mo.to_be_bytes());
+    b[14..18].copy_from_slice(&hdr.total_len.to_be_bytes());
+    b[18..22].copy_from_slice(&hdr.src_qpn.to_be_bytes());
+    b[22..30].copy_from_slice(&hdr.msg_id.to_be_bytes());
+    b
+}
+
+/// Serializes a tagged header into its fixed wire form (shared by both
+/// encoders, like [`untagged_hdr_bytes`]).
+fn tagged_hdr_bytes(hdr: &TaggedHdr) -> [u8; TAGGED_HDR_LEN] {
+    let mut b = [0u8; TAGGED_HDR_LEN];
+    let mut ctrl = CTRL_VERSION | CTRL_TAGGED;
+    if hdr.last {
+        ctrl |= CTRL_LAST;
+    }
+    if hdr.notify {
+        ctrl |= CTRL_NOTIFY;
+    }
+    b[0] = ctrl;
+    b[1] = hdr.opcode as u8;
+    b[2..6].copy_from_slice(&hdr.stag.to_be_bytes());
+    b[6..14].copy_from_slice(&hdr.to.to_be_bytes());
+    b[14..22].copy_from_slice(&hdr.base_to.to_be_bytes());
+    b[22..26].copy_from_slice(&hdr.total_len.to_be_bytes());
+    b[26..30].copy_from_slice(&hdr.src_qpn.to_be_bytes());
+    b[30..38].copy_from_slice(&hdr.msg_id.to_be_bytes());
+    b[38..42].copy_from_slice(&hdr.imm.to_be_bytes());
+    b
+}
+
+/// Encodes an untagged segment; appends a CRC32 trailer when `with_crc`.
+#[must_use]
+pub fn encode_untagged(hdr: &UntaggedHdr, payload: &[u8], with_crc: bool) -> Bytes {
+    let cap = UNTAGGED_HDR_LEN + payload.len() + if with_crc { CRC_LEN } else { 0 };
+    let mut b = BytesMut::with_capacity(cap);
+    b.extend_from_slice(&untagged_hdr_bytes(hdr));
     b.extend_from_slice(payload);
     if with_crc {
         let crc = crc32c(&b);
@@ -198,28 +232,169 @@ pub fn encode_untagged(hdr: &UntaggedHdr, payload: &[u8], with_crc: bool) -> Byt
 pub fn encode_tagged(hdr: &TaggedHdr, payload: &[u8], with_crc: bool) -> Bytes {
     let cap = TAGGED_HDR_LEN + payload.len() + if with_crc { CRC_LEN } else { 0 };
     let mut b = BytesMut::with_capacity(cap);
-    let mut ctrl = CTRL_VERSION | CTRL_TAGGED;
-    if hdr.last {
-        ctrl |= CTRL_LAST;
-    }
-    if hdr.notify {
-        ctrl |= CTRL_NOTIFY;
-    }
-    b.put_u8(ctrl);
-    b.put_u8(hdr.opcode as u8);
-    b.put_u32(hdr.stag);
-    b.put_u64(hdr.to);
-    b.put_u64(hdr.base_to);
-    b.put_u32(hdr.total_len);
-    b.put_u32(hdr.src_qpn);
-    b.put_u64(hdr.msg_id);
-    b.put_u32(hdr.imm);
+    b.extend_from_slice(&tagged_hdr_bytes(hdr));
     b.extend_from_slice(payload);
     if with_crc {
         let crc = crc32c(&b);
         b.put_u32(crc);
     }
     b.freeze()
+}
+
+/// Scatter-gather untagged encoder: header and CRC trailer share one
+/// pooled allocation; the caller's payload is *chained*, not copied. The
+/// CRC streams over header then payload, so the emitted byte string is
+/// identical to [`encode_untagged`] with `with_crc = true`.
+#[must_use]
+pub fn encode_untagged_sg(hdr: &UntaggedHdr, payload: &Bytes, pool: &BufPool) -> SgBytes {
+    let hb = untagged_hdr_bytes(hdr);
+    encode_sg(&hb, payload, pool)
+}
+
+/// Scatter-gather tagged encoder (see [`encode_untagged_sg`]).
+#[must_use]
+pub fn encode_tagged_sg(hdr: &TaggedHdr, payload: &Bytes, pool: &BufPool) -> SgBytes {
+    let hb = tagged_hdr_bytes(hdr);
+    encode_sg(&hb, payload, pool)
+}
+
+/// Shared body of the SG encoders: one pooled `hdr ++ crc` buffer sliced
+/// around the untouched payload.
+fn encode_sg(hdr_bytes: &[u8], payload: &Bytes, pool: &BufPool) -> SgBytes {
+    let hdr_len = hdr_bytes.len();
+    let mut buf = pool.get(hdr_len + CRC_LEN);
+    buf[..hdr_len].copy_from_slice(hdr_bytes);
+    let mut crc = Crc32c::new();
+    crc.update(hdr_bytes);
+    crc.update(payload);
+    buf[hdr_len..].copy_from_slice(&crc.finish().to_be_bytes());
+    let b = buf.freeze();
+    let mut sg = SgBytes::with_capacity(3);
+    sg.push(b.slice(..hdr_len));
+    sg.push(payload.clone());
+    sg.push(b.slice(hdr_len..));
+    sg
+}
+
+/// A CRC32C check deferred past header parsing.
+///
+/// [`decode_sg`] returns one for multi-part segments: the digest state
+/// with the header already absorbed, plus the trailer value the full
+/// segment must hash to. The receive engine either resolves it up front
+/// ([`PendingCrc::verify`]) or fuses the payload's CRC pass with the
+/// mandatory placement copy
+/// ([`crate::buf::MemoryRegion::write_with_crc`]) — cut-through checking.
+/// Every consumer must resolve it one way or the other before trusting
+/// the segment.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingCrc {
+    state: Crc32c,
+    expected: u32,
+}
+
+impl PendingCrc {
+    /// Digest state with the header bytes already absorbed.
+    #[must_use]
+    pub fn state(&self) -> Crc32c {
+        self.state
+    }
+
+    /// The trailer value the full segment must digest to.
+    #[must_use]
+    pub fn expected(&self) -> u32 {
+        self.expected
+    }
+
+    /// Checks the deferred CRC against the segment payload.
+    #[must_use]
+    pub fn verify(&self, payload: &[u8]) -> bool {
+        let mut c = self.state;
+        c.update(payload);
+        c.finish() == self.expected
+    }
+}
+
+/// Decodes a DDP segment delivered as a scatter-gather list.
+///
+/// A contiguous (single-part) delivery takes exactly the [`decode`] path:
+/// the CRC is verified up front and the returned [`PendingCrc`] is
+/// `None`. A multi-part delivery parses the header from a bounded stack
+/// copy, takes the payload as a zero-copy window, and — because checking
+/// the CRC eagerly would force flattening the parts — returns the check
+/// as a [`PendingCrc`] for the engine to resolve (fused with placement on
+/// the hot path). Corruption in the header region may therefore surface
+/// as a malformed-segment error here rather than `CrcMismatch`; the two
+/// are jointly exhaustive over corrupt input.
+pub fn decode_sg(raw: &SgBytes, with_crc: bool) -> IwarpResult<(DdpSegment, Option<PendingCrc>)> {
+    if raw.is_contiguous() {
+        return Ok((decode(&raw.to_bytes(), with_crc)?, None));
+    }
+    let malformed = || IwarpError::Net(simnet::NetError::Protocol("malformed DDP segment"));
+    let mut body_len = raw.len();
+    if with_crc {
+        if raw.len() < CRC_LEN {
+            return Err(malformed());
+        }
+        body_len -= CRC_LEN;
+    }
+    if body_len < 2 {
+        return Err(malformed());
+    }
+    let probe = raw.copy_range(0, body_len.min(TAGGED_HDR_LEN));
+    let ctrl = probe[0];
+    if ctrl & CTRL_VERSION_MASK != CTRL_VERSION {
+        return Err(malformed());
+    }
+    let opcode = RdmapOpcode::from_u8(probe[1])?;
+    let last = ctrl & CTRL_LAST != 0;
+    let tagged = ctrl & CTRL_TAGGED != 0;
+    let hdr_len = if tagged { TAGGED_HDR_LEN } else { UNTAGGED_HDR_LEN };
+    if body_len < hdr_len {
+        return Err(malformed());
+    }
+    let payload = raw.slice(hdr_len, body_len).to_bytes();
+    let pending = if with_crc {
+        let trailer = raw.copy_range(body_len, raw.len());
+        let expected = u32::from_be_bytes(trailer.as_slice().try_into().expect("CRC_LEN bytes"));
+        let mut state = Crc32c::new();
+        state.update(&probe[..hdr_len]);
+        Some(PendingCrc { state, expected })
+    } else {
+        None
+    };
+    let seg = if tagged {
+        DdpSegment::Tagged {
+            hdr: TaggedHdr {
+                opcode,
+                last,
+                notify: ctrl & CTRL_NOTIFY != 0,
+                stag: u32::from_be_bytes(probe[2..6].try_into().expect("sized")),
+                to: u64::from_be_bytes(probe[6..14].try_into().expect("sized")),
+                base_to: u64::from_be_bytes(probe[14..22].try_into().expect("sized")),
+                total_len: u32::from_be_bytes(probe[22..26].try_into().expect("sized")),
+                src_qpn: u32::from_be_bytes(probe[26..30].try_into().expect("sized")),
+                msg_id: u64::from_be_bytes(probe[30..38].try_into().expect("sized")),
+                imm: u32::from_be_bytes(probe[38..42].try_into().expect("sized")),
+            },
+            payload,
+        }
+    } else {
+        DdpSegment::Untagged {
+            hdr: UntaggedHdr {
+                opcode,
+                last,
+                solicited: ctrl & CTRL_SOLICITED != 0,
+                qn: u32::from_be_bytes(probe[2..6].try_into().expect("sized")),
+                msn: u32::from_be_bytes(probe[6..10].try_into().expect("sized")),
+                mo: u32::from_be_bytes(probe[10..14].try_into().expect("sized")),
+                total_len: u32::from_be_bytes(probe[14..18].try_into().expect("sized")),
+                src_qpn: u32::from_be_bytes(probe[18..22].try_into().expect("sized")),
+                msg_id: u64::from_be_bytes(probe[22..30].try_into().expect("sized")),
+            },
+            payload,
+        }
+    };
+    Ok((seg, pending))
 }
 
 /// Decodes a DDP segment. When `with_crc`, the trailing CRC32 is verified
@@ -462,6 +637,78 @@ mod tests {
         };
         assert_eq!(ReadRequest::decode(&rr.encode()).unwrap(), rr);
         assert!(ReadRequest::decode(b"short").is_err());
+    }
+
+    #[test]
+    fn sg_encoders_match_contiguous_byte_for_byte() {
+        let pool = BufPool::new();
+        let payload = Bytes::from((0..2000u32).map(|i| (i % 255) as u8).collect::<Vec<_>>());
+        let u = sample_untagged();
+        let sg = encode_untagged_sg(&u, &payload, &pool);
+        assert_eq!(sg.parts().len(), 3, "hdr, payload, crc");
+        let mut flat = vec![0u8; sg.len()];
+        sg.copy_to_slice(&mut flat);
+        assert_eq!(&flat[..], &encode_untagged(&u, &payload, true)[..]);
+
+        let t = sample_tagged();
+        let sg = encode_tagged_sg(&t, &payload, &pool);
+        let mut flat = vec![0u8; sg.len()];
+        sg.copy_to_slice(&mut flat);
+        assert_eq!(&flat[..], &encode_tagged(&t, &payload, true)[..]);
+    }
+
+    #[test]
+    fn decode_sg_multipart_defers_crc() {
+        let pool = BufPool::new();
+        let hdr = sample_untagged();
+        let payload = Bytes::from(vec![7u8; 333]);
+        let sg = encode_untagged_sg(&hdr, &payload, &pool);
+        let (seg, pending) = decode_sg(&sg, true).unwrap();
+        let pending = pending.expect("multi-part defers the CRC");
+        match seg {
+            DdpSegment::Untagged { hdr: h, payload: p } => {
+                assert_eq!(h, hdr);
+                assert_eq!(p, payload);
+                assert!(pending.verify(&p));
+                assert!(!pending.verify(&p[1..]), "wrong payload must fail");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A contiguous delivery of the same bytes takes the eager path.
+        let (seg2, none) = decode_sg(&SgBytes::from(sg.to_bytes()), true).unwrap();
+        assert!(none.is_none());
+        assert_eq!(seg2.payload(), &payload);
+    }
+
+    #[test]
+    fn decode_sg_matches_decode_for_tagged() {
+        let pool = BufPool::new();
+        let hdr = sample_tagged();
+        let payload = Bytes::from(vec![0x5Au8; 512]);
+        let sg = encode_tagged_sg(&hdr, &payload, &pool);
+        let (seg, pending) = decode_sg(&sg, true).unwrap();
+        assert!(pending.expect("deferred").verify(seg.payload()));
+        assert_eq!(decode(&sg.to_bytes(), true).unwrap(), seg);
+    }
+
+    #[test]
+    fn decode_sg_rejects_corrupt_multipart() {
+        let pool = BufPool::new();
+        let hdr = sample_untagged();
+        let payload = Bytes::from(vec![9u8; 64]);
+        let good = encode_untagged_sg(&hdr, &payload, &pool);
+        // Corrupt one payload byte: parsing still succeeds (cut-through)
+        // but the deferred check must fail.
+        let mut corrupt_payload = payload.to_vec();
+        corrupt_payload[10] ^= 0x01;
+        let mut sg = SgBytes::new();
+        sg.push(good.slice(0, UNTAGGED_HDR_LEN).to_bytes());
+        sg.push(Bytes::from(corrupt_payload));
+        sg.push(good.slice(good.len() - CRC_LEN, good.len()).to_bytes());
+        let (seg, pending) = decode_sg(&sg, true).unwrap();
+        assert!(!pending.expect("deferred").verify(seg.payload()));
+        // Truncated multi-part input is rejected outright.
+        assert!(decode_sg(&good.slice(0, 10), true).is_err());
     }
 
     #[test]

@@ -26,14 +26,17 @@ use bytes::Bytes;
 use iwarp_telemetry::{Counter, Histogram, Telemetry};
 use simnet::{Addr, DgramConduit, NetError, RdConduit};
 
+use iwarp_common::copypath::CopyPath;
 use iwarp_common::memacct::MemScope;
+use iwarp_common::pool::BufPool;
+use iwarp_common::sg::SgBytes;
 
 use crate::buf::{MemoryRegion, MrTable};
 use crate::cq::{Cq, Cqe, CqeOpcode, CqeStatus};
 use crate::error::{IwarpError, IwarpResult};
 use crate::hdr::{
-    encode_tagged, encode_untagged, CRC_LEN, RdmapOpcode, ReadRequest, TaggedHdr, UntaggedHdr,
-    TAGGED_HDR_LEN, UNTAGGED_HDR_LEN,
+    decode_sg, encode_tagged, encode_tagged_sg, encode_untagged, encode_untagged_sg, CRC_LEN,
+    RdmapOpcode, ReadRequest, TaggedHdr, UntaggedHdr, TAGGED_HDR_LEN, UNTAGGED_HDR_LEN,
 };
 use crate::qp::rx::{RxAction, RxCore, QN_READ_REQUEST, QN_SEND};
 use crate::qp::QpConfig;
@@ -57,10 +60,39 @@ impl DgLlp {
         }
     }
 
-    fn recv_from(&self, timeout: Duration) -> Result<(Addr, Bytes), NetError> {
+    /// Sends one encoded segment given as a scatter-gather list. UD hands
+    /// the slices straight to the conduit's zero-copy fragmenter; RD's
+    /// windowed retransmit queue needs an owned contiguous message, so
+    /// the segment is flattened here (counted — RD is not the zero-copy
+    /// target path).
+    fn send_seg(&self, dst: Addr, seg: SgBytes, copied: &Counter) -> Result<(), NetError> {
         match self {
-            DgLlp::Ud(c) => c.recv_from(Some(timeout)),
-            DgLlp::Rd(c) => c.recv_from(Some(timeout)),
+            DgLlp::Ud(c) => c.send_sg(dst, seg),
+            DgLlp::Rd(c) => {
+                if !seg.is_contiguous() {
+                    copied.add(seg.len() as u64);
+                }
+                c.send_to(dst, seg.to_bytes())
+            }
+        }
+    }
+
+    /// Receives the next complete datagram as a scatter-gather list (an
+    /// unfragmented UD datagram arrives as the sender's original slices;
+    /// RD always delivers contiguous messages).
+    fn recv_sg(&self, timeout: Duration) -> Result<(Addr, SgBytes), NetError> {
+        match self {
+            DgLlp::Ud(c) => c.recv_sg_from(Some(timeout)),
+            DgLlp::Rd(c) => c
+                .recv_from(Some(timeout))
+                .map(|(src, b)| (src, SgBytes::from(b))),
+        }
+    }
+
+    fn pool(&self) -> BufPool {
+        match self {
+            DgLlp::Ud(c) => c.fabric().pool().clone(),
+            DgLlp::Rd(c) => c.fabric().pool().clone(),
         }
     }
 
@@ -89,6 +121,11 @@ pub(crate) struct QpTxTel {
     pub(crate) tx_msgs: Counter,
     pub(crate) tx_segments: Counter,
     pub(crate) msg_size_tx: Histogram,
+    /// Eliminable datapath copies (shared `pool.bytes_copied` name): the
+    /// legacy encoder's payload copy and RD's flatten land here. The
+    /// mandatory placement copy into the registered region is *not*
+    /// counted — it exists on every path.
+    pub(crate) bytes_copied: Counter,
 }
 
 impl QpTxTel {
@@ -97,6 +134,7 @@ impl QpTxTel {
             tx_msgs: tel.counter("core.qp.tx_msgs"),
             tx_segments: tel.counter("core.qp.tx_segments"),
             msg_size_tx: tel.histogram("core.qp.msg_size_tx"),
+            bytes_copied: tel.counter("pool.bytes_copied"),
         }
     }
 }
@@ -110,6 +148,11 @@ struct DgInner {
     next_msg_id: AtomicU64,
     next_msn: AtomicU32,
     max_msg_size: usize,
+    /// Transmit datapath (from [`QpConfig::copy_path`]).
+    copy_path: CopyPath,
+    /// Header-buffer pool shared with the fabric (SG encoders draw the
+    /// pooled `hdr ++ crc` allocations from here).
+    pool: BufPool,
     shutdown: AtomicBool,
     _mem: Option<MemScope>,
 }
@@ -136,10 +179,12 @@ impl DatagramQp {
         tel: &Telemetry,
     ) -> Self {
         let max_msg_size = cfg.max_msg_size;
+        let copy_path = cfg.copy_path;
         let reliable = llp.is_reliable();
         send_cq.attach_telemetry(tel);
         recv_cq.attach_telemetry(tel);
         let rx_tel = crate::qp::rx::RxTel::new(tel, llp.local_addr());
+        let pool = llp.pool();
         let inner = Arc::new(DgInner {
             rx: RxCore::new(mrs, recv_cq, cfg, reliable, rx_tel),
             tx_tel: QpTxTel::new(tel),
@@ -149,6 +194,8 @@ impl DatagramQp {
             next_msg_id: AtomicU64::new(1),
             next_msn: AtomicU32::new(1),
             max_msg_size,
+            copy_path,
+            pool,
             shutdown: AtomicBool::new(false),
             _mem: mem,
         });
@@ -313,8 +360,7 @@ impl DatagramQp {
                 msg_id,
                 solicited,
             };
-            let seg = encode_untagged(&hdr, &data[mo..end], true);
-            self.inner.llp.send_to(dest.addr, seg)?;
+            self.send_untagged_seg(&hdr, &data, mo, end, dest.addr)?;
             if end == data.len() {
                 break;
             }
@@ -447,8 +493,7 @@ impl DatagramQp {
                 msg_id,
                 imm,
             };
-            let seg = encode_tagged(&hdr, &data[off..end], true);
-            self.inner.llp.send_to(dest.addr, seg)?;
+            send_tagged_seg(&self.inner, &hdr, &data, off, end, dest.addr)?;
             if end == data.len() {
                 break;
             }
@@ -515,10 +560,35 @@ impl DatagramQp {
             src_qpn: self.inner.qpn,
             msg_id,
         };
-        let seg = encode_untagged(&hdr, &req.encode(), true);
+        let req = req.encode();
         self.inner.tx_tel.tx_msgs.inc();
         self.inner.tx_tel.tx_segments.inc();
-        self.inner.llp.send_to(dest.addr, seg)?;
+        self.send_untagged_seg(&hdr, &req, 0, req.len(), dest.addr)?;
+        Ok(())
+    }
+
+    /// Emits one untagged segment (`data[mo..end]` under `hdr`) on the
+    /// configured datapath: pooled-header scatter-gather or the legacy
+    /// contiguous encode (whose payload copy is counted).
+    fn send_untagged_seg(
+        &self,
+        hdr: &UntaggedHdr,
+        data: &Bytes,
+        mo: usize,
+        end: usize,
+        dst: Addr,
+    ) -> IwarpResult<()> {
+        let inner = &self.inner;
+        match inner.copy_path {
+            CopyPath::Sg => {
+                let seg = encode_untagged_sg(hdr, &data.slice(mo..end), &inner.pool);
+                inner.llp.send_seg(dst, seg, &inner.tx_tel.bytes_copied)?;
+            }
+            CopyPath::Legacy => {
+                inner.tx_tel.bytes_copied.add((end - mo) as u64);
+                inner.llp.send_to(dst, encode_untagged(hdr, &data[mo..end], true))?;
+            }
+        }
         Ok(())
     }
 
@@ -582,12 +652,17 @@ fn rx_loop(inner: &DgInner) {
 
 /// One receive-engine iteration: the software stand-in for the RNIC's
 /// receive DMA engine. Shared by the engine thread and poll-mode callers.
+///
+/// Datagrams arrive as scatter-gather lists: an unfragmented SG-path
+/// datagram reaches this decode as the sender's original slices, with its
+/// CRC check deferred ([`decode_sg`]) so the engine can fuse it with the
+/// placement copy instead of flattening here.
 fn rx_step(inner: &DgInner, max_wait: Duration) {
     let with_crc = true; // mandatory on the datagram path (paper §IV.B.6)
-    match inner.llp.recv_from(max_wait) {
-        Ok((src, dgram)) => match crate::hdr::decode(&dgram, with_crc) {
-            Ok(seg) => {
-                if let Some(action) = inner.rx.handle(src, seg) {
+    match inner.llp.recv_sg(max_wait) {
+        Ok((src, dgram)) => match decode_sg(&dgram, with_crc) {
+            Ok((seg, pending)) => {
+                if let Some(action) = inner.rx.handle_deferred(src, seg, pending) {
                     respond(inner, action);
                 }
             }
@@ -604,6 +679,29 @@ fn rx_step(inner: &DgInner, max_wait: Duration) {
         Err(_) => return,
     }
     inner.rx.expire();
+}
+
+/// Emits one tagged segment (`data[off..end]` under `hdr`) on the
+/// configured datapath (see [`DatagramQp::send_untagged_seg`]).
+fn send_tagged_seg(
+    inner: &DgInner,
+    hdr: &TaggedHdr,
+    data: &Bytes,
+    off: usize,
+    end: usize,
+    dst: Addr,
+) -> IwarpResult<()> {
+    match inner.copy_path {
+        CopyPath::Sg => {
+            let seg = encode_tagged_sg(hdr, &data.slice(off..end), &inner.pool);
+            inner.llp.send_seg(dst, seg, &inner.tx_tel.bytes_copied)?;
+        }
+        CopyPath::Legacy => {
+            inner.tx_tel.bytes_copied.add((end - off) as u64);
+            inner.llp.send_to(dst, encode_tagged(hdr, &data[off..end], true))?;
+        }
+    }
+    Ok(())
 }
 
 /// Sends an RDMA Read Response as tagged `ReadResponse` segments.
@@ -632,8 +730,7 @@ fn respond(inner: &DgInner, action: RxAction) {
             msg_id,
             imm: 0,
         };
-        let seg = encode_tagged(&hdr, &data[off..end], true);
-        let _ = inner.llp.send_to(dst, seg);
+        let _ = send_tagged_seg(inner, &hdr, &data, off, end, dst);
         if end == data.len() {
             break;
         }

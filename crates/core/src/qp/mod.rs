@@ -56,6 +56,12 @@ pub struct QpConfig {
     /// receive path). This is how one process scales to tens of thousands
     /// of QPs for the paper's memory experiment.
     pub poll_mode: bool,
+    /// Which transmit datapath the QP uses: scatter-gather (pooled header
+    /// buffers chained with payload slices) or the legacy contiguous
+    /// reference path. Defaults to the process-wide
+    /// [`iwarp_common::copypath::default_path`] at construction time, so
+    /// `figures --copy-path=legacy` A/Bs the whole stack.
+    pub copy_path: iwarp_common::copypath::CopyPath,
 }
 
 impl Default for QpConfig {
@@ -66,6 +72,7 @@ impl Default for QpConfig {
             record_ttl: Duration::from_millis(500),
             read_ttl: Duration::from_millis(500),
             poll_mode: false,
+            copy_path: iwarp_common::copypath::default_path(),
         }
     }
 }

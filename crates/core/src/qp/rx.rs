@@ -21,7 +21,8 @@ use iwarp_common::validity::ValidityMap;
 
 use crate::buf::{MemoryRegion, MrTable};
 use crate::cq::{Cq, Cqe, CqeOpcode, CqeSource, CqeStatus};
-use crate::hdr::{DdpSegment, RdmapOpcode, ReadRequest, TaggedHdr, UntaggedHdr};
+use crate::error::IwarpError;
+use crate::hdr::{DdpSegment, PendingCrc, RdmapOpcode, ReadRequest, TaggedHdr, UntaggedHdr};
 use crate::qp::QpConfig;
 use crate::wr::RecvWr;
 use crate::wr_record::RecordTable;
@@ -253,15 +254,86 @@ impl RxCore {
         self.rq.lock().is_empty()
     }
 
-    /// Processes one decoded DDP segment from `src`.
+    /// Processes one decoded DDP segment from `src` whose CRC has already
+    /// been verified (or is not carried at all — the stream path).
     pub fn handle(&self, src: Addr, seg: DdpSegment) -> Option<RxAction> {
+        self.handle_deferred(src, seg, None)
+    }
+
+    /// Processes one decoded DDP segment whose CRC check may still be
+    /// pending ([`crate::hdr::decode_sg`]'s cut-through decode).
+    ///
+    /// Untagged segments settle the check up front: two-sided placement
+    /// consumes a posted receive before any byte lands, and wire
+    /// corruption must not eat receive WRs that the check-first legacy
+    /// path preserves. Tagged segments carry the check into placement,
+    /// where [`MemoryRegion::write_with_crc`] fuses it with the mandatory
+    /// copy into the registered region.
+    pub(crate) fn handle_deferred(
+        &self,
+        src: Addr,
+        seg: DdpSegment,
+        pending: Option<PendingCrc>,
+    ) -> Option<RxAction> {
         self.stats.rx_segments.fetch_add(1, Ordering::Relaxed);
         self.tel.rx_segments.inc();
         match seg {
-            DdpSegment::Untagged { hdr, payload } => self.handle_untagged(src, &hdr, &payload),
+            DdpSegment::Untagged { hdr, payload } => {
+                if !self.settle_crc(pending.as_ref(), &payload) {
+                    return None;
+                }
+                self.handle_untagged(src, &hdr, &payload)
+            }
             DdpSegment::Tagged { hdr, payload } => {
-                self.handle_tagged(src, &hdr, &payload);
+                self.handle_tagged(src, &hdr, &payload, pending);
                 None
+            }
+        }
+    }
+
+    /// Resolves a deferred CRC at a non-placement exit. Returns true when
+    /// the segment is good (or no check was pending); counts a CRC
+    /// discard and returns false otherwise.
+    fn settle_crc(&self, pending: Option<&PendingCrc>, payload: &[u8]) -> bool {
+        match pending {
+            None => true,
+            Some(p) if p.verify(payload) => true,
+            Some(_) => {
+                self.stats.crc_errors.fetch_add(1, Ordering::Relaxed);
+                self.tel.crc_errors.inc();
+                false
+            }
+        }
+    }
+
+    /// Places `payload` at `to`, fusing a deferred CRC check with the
+    /// copy when one is pending. Counts the appropriate discard
+    /// (CRC or access violation, classified as the check-first legacy
+    /// path would) and returns false on failure.
+    fn place_checked(
+        &self,
+        mr: &MemoryRegion,
+        to: u64,
+        payload: &Bytes,
+        pending: Option<&PendingCrc>,
+    ) -> bool {
+        let res = match pending {
+            Some(p) => mr.write_with_crc(to, payload, p),
+            None => mr.write(to, payload),
+        };
+        match res {
+            Ok(()) => true,
+            Err(IwarpError::CrcMismatch) => {
+                self.stats.crc_errors.fetch_add(1, Ordering::Relaxed);
+                self.tel.crc_errors.inc();
+                false
+            }
+            Err(_) => {
+                if self.settle_crc(pending, payload) {
+                    self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+                    self.tel.access_violations.inc();
+                }
+                false
             }
         }
     }
@@ -413,7 +485,13 @@ impl RxCore {
         })
     }
 
-    fn handle_tagged(&self, src: Addr, hdr: &TaggedHdr, payload: &Bytes) {
+    fn handle_tagged(
+        &self,
+        src: Addr,
+        hdr: &TaggedHdr,
+        payload: &Bytes,
+        pending: Option<PendingCrc>,
+    ) {
         match hdr.opcode {
             RdmapOpcode::WriteRecord | RdmapOpcode::RdmaWrite | RdmapOpcode::RdmaWriteImm => {
                 let mr = match self
@@ -423,15 +501,16 @@ impl RxCore {
                     Ok(mr) => mr,
                     Err(_) => {
                         // Datagram semantics: report, do not kill the QP
-                        // (paper §IV.B item 2).
-                        self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
-                        self.tel.access_violations.inc();
+                        // (paper §IV.B item 2). A segment that is in fact
+                        // corrupt is counted as such, not as a violation.
+                        if self.settle_crc(pending.as_ref(), payload) {
+                            self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+                            self.tel.access_violations.inc();
+                        }
                         return;
                     }
                 };
-                if mr.write(hdr.to, payload).is_err() {
-                    self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
-                    self.tel.access_violations.inc();
+                if !self.place_checked(&mr, hdr.to, payload, pending.as_ref()) {
                     return;
                 }
                 self.tel
@@ -501,8 +580,11 @@ impl RxCore {
                     }
                 }
             }
-            RdmapOpcode::ReadResponse => self.place_read_response(hdr, payload),
+            RdmapOpcode::ReadResponse => self.place_read_response(hdr, payload, pending),
             _ => {
+                if !self.settle_crc(pending.as_ref(), payload) {
+                    return;
+                }
                 self.stats.malformed.fetch_add(1, Ordering::Relaxed);
                 self.tel.malformed.inc();
             }
@@ -510,23 +592,26 @@ impl RxCore {
     }
 
     /// Places an RDMA Read Response segment into the pending read's sink.
-    fn place_read_response(&self, hdr: &TaggedHdr, payload: &Bytes) {
+    fn place_read_response(&self, hdr: &TaggedHdr, payload: &Bytes, pending: Option<PendingCrc>) {
         let mut reads = self.pending_reads.lock();
         let Some(pr) = reads.get_mut(&hdr.msg_id) else {
-            return; // duplicate/late response
+            // Duplicate/late response; still settle a deferred check so
+            // corrupt wire bytes are counted as corruption.
+            let _ = self.settle_crc(pending.as_ref(), payload);
+            return;
         };
         // The response must target the sink we registered for this read.
         if hdr.stag != pr.sink.stag()
             || hdr.to < pr.sink_to
             || hdr.to + payload.len() as u64 > pr.sink_to + u64::from(pr.len)
         {
-            self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
-            self.tel.access_violations.inc();
+            if self.settle_crc(pending.as_ref(), payload) {
+                self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+                self.tel.access_violations.inc();
+            }
             return;
         }
-        if pr.sink.write(hdr.to, payload).is_err() {
-            self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
-            self.tel.access_violations.inc();
+        if !self.place_checked(&pr.sink.clone(), hdr.to, payload, pending.as_ref()) {
             return;
         }
         pr.validity.record(hdr.to - pr.sink_to, payload.len() as u64);

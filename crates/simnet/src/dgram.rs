@@ -15,18 +15,31 @@
 //! carries its own CRC32 (§V).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
+use iwarp_common::copypath::{self, CopyPath};
+use iwarp_common::pool::{BufPool, PoolBuf};
+use iwarp_common::sg::SgBytes;
 use iwarp_telemetry::{Counter, EndpointId, EventKind, Histogram, Telemetry};
 use parking_lot::Mutex;
 
 use crate::error::{NetError, NetResult};
 use crate::fabric::{Endpoint, Fabric};
-use crate::wire::{Addr, NodeId};
+use crate::wire::{Addr, NodeId, WirePacket};
 
 /// Wire-packet protocol discriminator for datagram fragments.
 pub const PROTO_DGRAM: u8 = 0x01;
+
+/// Serializes one fragment header into `buf[..FRAG_HEADER]`.
+fn write_frag_header(buf: &mut [u8], id: u32, idx: u16, cnt: u16, total_len: u32) {
+    buf[0] = PROTO_DGRAM;
+    buf[1..5].copy_from_slice(&id.to_be_bytes());
+    buf[5..7].copy_from_slice(&idx.to_be_bytes());
+    buf[7..9].copy_from_slice(&cnt.to_be_bytes());
+    buf[9..13].copy_from_slice(&total_len.to_be_bytes());
+}
 
 /// Fragment header: proto(1) + dgram_id(4) + frag_index(2) + frag_count(2)
 /// + total_len(4).
@@ -45,9 +58,11 @@ struct Partial {
     frag_count: u16,
     received_mask: Vec<bool>,
     received: u16,
-    buf: BytesMut,
-    /// Bytes actually written so far (frags can arrive out of order; the
-    /// buffer is pre-sized and offsets computed from the index).
+    /// Reassembly buffer, pre-sized to `total_len` and checked out of the
+    /// fabric's pool; fragments can arrive out of order, offsets are
+    /// computed from the fragment index.
+    buf: PoolBuf,
+    /// When this partial was created, for TTL-based reaping.
     created: Instant,
 }
 
@@ -63,16 +78,25 @@ struct DgramTel {
     tx_fragments: Counter,
     rx_datagrams: Counter,
     partials_expired: Counter,
+    /// Payload bytes memcpy'd on this conduit's datapath (legacy
+    /// per-fragment copies, reassembly fills, flattens). The zero-copy
+    /// work exists to drive this down; snapshots expose it as
+    /// `pool.bytes_copied`.
+    bytes_copied: Counter,
     msg_bytes: Histogram,
 }
 
 /// Unreliable datagram endpoint over a [`Fabric`].
 pub struct DgramConduit {
     ep: Endpoint,
-    next_id: Mutex<u32>,
+    next_id: AtomicU32,
     reasm: Mutex<Reassembly>,
     /// Fragment payload capacity per wire packet.
     frag_payload: usize,
+    /// Which transmit datapath [`DgramConduit::send_to`] uses; the
+    /// receive side is shape-driven and handles both regardless.
+    copy_path: CopyPath,
+    pool: BufPool,
     tel: DgramTel,
 }
 
@@ -90,24 +114,40 @@ impl DgramConduit {
     fn from_endpoint(ep: Endpoint) -> Self {
         let frag_payload = ep.mtu() - FRAG_HEADER;
         let t = ep.fabric().telemetry().clone();
+        let pool = ep.fabric().pool().clone();
         let tel = DgramTel {
             tx_datagrams: t.counter("simnet.dgram.tx_datagrams"),
             tx_fragments: t.counter("simnet.dgram.tx_fragments"),
             rx_datagrams: t.counter("simnet.dgram.rx_datagrams"),
             partials_expired: t.counter("simnet.dgram.partials_expired"),
+            bytes_copied: t.counter("pool.bytes_copied"),
             msg_bytes: t.histogram("simnet.dgram.msg_bytes"),
             tel: t,
         };
         Self {
             ep,
-            next_id: Mutex::new(1),
+            next_id: AtomicU32::new(1),
             reasm: Mutex::new(Reassembly {
                 partials: HashMap::new(),
                 last_gc: Instant::now(),
             }),
             frag_payload,
+            copy_path: copypath::default_path(),
+            pool,
             tel,
         }
+    }
+
+    /// Pins which transmit datapath this conduit uses (defaults to the
+    /// process-wide [`copypath::default_path`]).
+    pub fn set_copy_path(&mut self, path: CopyPath) {
+        self.copy_path = path;
+    }
+
+    /// The transmit datapath this conduit is using.
+    #[must_use]
+    pub fn copy_path(&self) -> CopyPath {
+        self.copy_path
     }
 
     /// Local address.
@@ -137,19 +177,83 @@ impl DgramConduit {
 
     /// Sends one datagram to `dst`, fragmenting as needed. Unreliable:
     /// success only means the datagram was handed to the wire.
+    ///
+    /// On the scatter-gather path fragments are zero-copy windows of
+    /// `payload` ([`Bytes::slice`]); on the legacy path each fragment is
+    /// copied into a fresh contiguous frame (the pre-zero-copy reference
+    /// behaviour, kept for A/B measurement).
     pub fn send_to(&self, dst: Addr, payload: Bytes) -> NetResult<()> {
+        match self.copy_path {
+            CopyPath::Sg => self.send_sg(dst, SgBytes::from(payload)),
+            CopyPath::Legacy => self.send_legacy(dst, &payload),
+        }
+    }
+
+    /// Sends one datagram given as a scatter-gather list, fragmenting by
+    /// slicing: no payload byte is copied, and all fragment headers come
+    /// from a single pooled allocation.
+    pub fn send_sg(&self, dst: Addr, payload: SgBytes) -> NetResult<()> {
         if payload.len() > MAX_DATAGRAM {
             return Err(NetError::TooBig {
                 len: payload.len(),
                 max: MAX_DATAGRAM,
             });
         }
-        let id = {
-            let mut g = self.next_id.lock();
-            let id = *g;
-            *g = g.wrapping_add(1);
-            id
-        };
+        let (id, frag_count, total_len) = self.prepare_send(&payload);
+        let mut hdrs = self.pool.get(usize::from(frag_count) * FRAG_HEADER);
+        for idx in 0..frag_count {
+            write_frag_header(
+                &mut hdrs[usize::from(idx) * FRAG_HEADER..],
+                id,
+                idx,
+                frag_count,
+                total_len,
+            );
+        }
+        let hdrs = hdrs.freeze();
+        for idx in 0..frag_count {
+            let start = usize::from(idx) * self.frag_payload;
+            let end = (start + self.frag_payload).min(payload.len());
+            let h = usize::from(idx) * FRAG_HEADER;
+            self.ep.send_sg(
+                dst,
+                hdrs.slice(h..h + FRAG_HEADER),
+                payload.slice(start, end),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The pre-zero-copy reference datapath: one contiguous frame per
+    /// fragment, each paying an alloc plus a payload copy.
+    fn send_legacy(&self, dst: Addr, payload: &Bytes) -> NetResult<()> {
+        if payload.len() > MAX_DATAGRAM {
+            return Err(NetError::TooBig {
+                len: payload.len(),
+                max: MAX_DATAGRAM,
+            });
+        }
+        let (id, frag_count, total_len) = self.prepare_send(&SgBytes::from(payload.clone()));
+        for idx in 0..frag_count {
+            let start = usize::from(idx) * self.frag_payload;
+            let end = (start + self.frag_payload).min(payload.len());
+            let mut pkt = BytesMut::with_capacity(FRAG_HEADER + (end - start));
+            pkt.put_u8(PROTO_DGRAM);
+            pkt.put_u32(id);
+            pkt.put_u16(idx);
+            pkt.put_u16(frag_count);
+            pkt.put_u32(total_len);
+            pkt.extend_from_slice(&payload[start..end]);
+            self.tel.bytes_copied.add((end - start) as u64);
+            self.ep.send_to(dst, pkt.freeze())?;
+        }
+        Ok(())
+    }
+
+    /// Allocates a datagram id and records the per-datagram telemetry
+    /// shared by both datapaths.
+    fn prepare_send(&self, payload: &SgBytes) -> (u32, u16, u32) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let total_len = payload.len() as u32;
         let frag_count = payload.len().div_ceil(self.frag_payload).max(1) as u16;
         self.tel.tx_datagrams.inc();
@@ -165,27 +269,39 @@ impl DgramConduit {
                 u64::from(id),
             );
         }
-        for idx in 0..frag_count {
-            let start = usize::from(idx) * self.frag_payload;
-            let end = (start + self.frag_payload).min(payload.len());
-            let mut pkt = BytesMut::with_capacity(FRAG_HEADER + (end - start));
-            pkt.put_u8(PROTO_DGRAM);
-            pkt.put_u32(id);
-            pkt.put_u16(idx);
-            pkt.put_u16(frag_count);
-            pkt.put_u32(total_len);
-            pkt.extend_from_slice(&payload[start..end]);
-            self.ep.send_to(dst, pkt.freeze())?;
-        }
-        Ok(())
+        (id, frag_count, total_len)
     }
 
     /// Receives the next complete datagram, blocking up to `timeout`
-    /// (`None` = indefinitely). Returns the sender's address and payload.
+    /// (`None` = indefinitely). Returns the sender's address and payload
+    /// as one contiguous buffer (flattening a scatter-gather delivery if
+    /// needed; zero-copy consumers use
+    /// [`recv_sg_from`](Self::recv_sg_from) instead).
     ///
     /// A zero timeout performs a non-blocking drain of already-queued wire
     /// packets (the poll-mode fast path) before reporting `Timeout`.
     pub fn recv_from(&self, timeout: Option<Duration>) -> NetResult<(Addr, Bytes)> {
+        let (src, sg) = self.recv_sg_from(timeout)?;
+        Ok((src, self.flatten(sg)))
+    }
+
+    /// Non-blocking variant of [`recv_from`](Self::recv_from).
+    pub fn try_recv_from(&self) -> NetResult<(Addr, Bytes)> {
+        let (src, sg) = self.try_recv_sg_from()?;
+        Ok((src, self.flatten(sg)))
+    }
+
+    fn flatten(&self, sg: SgBytes) -> Bytes {
+        if !sg.is_contiguous() {
+            self.tel.bytes_copied.add(sg.len() as u64);
+        }
+        sg.to_bytes()
+    }
+
+    /// Scatter-gather variant of [`recv_from`](Self::recv_from): an
+    /// unfragmented datagram is returned as the sender's original slices
+    /// without any intermediate buffer.
+    pub fn recv_sg_from(&self, timeout: Option<Duration>) -> NetResult<(Addr, SgBytes)> {
         let deadline = timeout.map(|t| Instant::now() + t);
         loop {
             // Drain queued packets without blocking first, so zero-timeout
@@ -193,7 +309,7 @@ impl DgramConduit {
             loop {
                 match self.ep.try_recv() {
                     Ok(pkt) => {
-                        if let Some(done) = self.ingest(pkt.src, &pkt.payload) {
+                        if let Some(done) = self.ingest(&pkt) {
                             return Ok(done);
                         }
                     }
@@ -212,17 +328,17 @@ impl DgramConduit {
                 }
             };
             let pkt = self.ep.recv(remaining)?;
-            if let Some(done) = self.ingest(pkt.src, &pkt.payload) {
+            if let Some(done) = self.ingest(&pkt) {
                 return Ok(done);
             }
         }
     }
 
-    /// Non-blocking variant of [`recv_from`](Self::recv_from).
-    pub fn try_recv_from(&self) -> NetResult<(Addr, Bytes)> {
+    /// Non-blocking variant of [`recv_sg_from`](Self::recv_sg_from).
+    pub fn try_recv_sg_from(&self) -> NetResult<(Addr, SgBytes)> {
         loop {
             let pkt = self.ep.try_recv()?;
-            if let Some(done) = self.ingest(pkt.src, &pkt.payload) {
+            if let Some(done) = self.ingest(&pkt) {
                 return Ok(done);
             }
         }
@@ -230,22 +346,43 @@ impl DgramConduit {
 
     /// Feeds one wire packet into reassembly; returns a completed datagram
     /// if this fragment finished one.
-    fn ingest(&self, src: Addr, payload: &[u8]) -> Option<(Addr, Bytes)> {
-        if payload.len() < FRAG_HEADER || payload[0] != PROTO_DGRAM {
+    ///
+    /// Shape-driven: handles both contiguous frames and scatter-gather
+    /// packets, whatever datapath the sender used. Unfragmented datagrams
+    /// pass through as zero-copy slices of the arriving frame; only
+    /// multi-fragment datagrams touch a (pooled) reassembly buffer.
+    fn ingest(&self, pkt: &WirePacket) -> Option<(Addr, SgBytes)> {
+        let src = pkt.src;
+        let frame = pkt.frame();
+        if frame.len() < FRAG_HEADER {
             return None; // not ours; ignore (wire noise)
         }
-        let id = u32::from_be_bytes(payload[1..5].try_into().ok()?);
-        let idx = u16::from_be_bytes(payload[5..7].try_into().ok()?);
-        let cnt = u16::from_be_bytes(payload[7..9].try_into().ok()?);
-        let total_len = u32::from_be_bytes(payload[9..13].try_into().ok()?);
-        let body = &payload[FRAG_HEADER..];
+        // The fragment header is 13 bytes at a part boundary in the sg
+        // case; `copy_range` costs a bounded stack-size copy either way.
+        let hdr = frame.copy_range(0, FRAG_HEADER);
+        if hdr[0] != PROTO_DGRAM {
+            return None;
+        }
+        let id = u32::from_be_bytes(hdr[1..5].try_into().ok()?);
+        let idx = u16::from_be_bytes(hdr[5..7].try_into().ok()?);
+        let cnt = u16::from_be_bytes(hdr[7..9].try_into().ok()?);
+        let total_len = u32::from_be_bytes(hdr[9..13].try_into().ok()?);
+        let body = frame.slice(FRAG_HEADER, frame.len());
         if cnt == 0 || idx >= cnt || total_len as usize > MAX_DATAGRAM {
             return None; // malformed
         }
         if cnt == 1 {
-            // Fast path: unfragmented datagram.
+            // Fast path: unfragmented datagram — no reassembly state, no
+            // intermediate buffer, just the arriving slices.
             self.tel.rx_datagrams.inc();
-            return Some((src, Bytes::copy_from_slice(body)));
+            if self.copy_path == CopyPath::Legacy {
+                // Reference behaviour: stage into a fresh buffer.
+                self.tel.bytes_copied.add(body.len() as u64);
+                let mut staged = vec![0u8; body.len()];
+                body.copy_to_slice(&mut staged);
+                return Some((src, SgBytes::from(Bytes::from(staged))));
+            }
+            return Some((src, body));
         }
 
         let mut g = self.reasm.lock();
@@ -261,17 +398,14 @@ impl DgramConduit {
         }
         let key = (src, id);
         let frag_payload = self.frag_payload;
-        let p = g.partials.entry(key).or_insert_with(|| {
-            let mut buf = BytesMut::new();
-            buf.resize(total_len as usize, 0);
-            Partial {
-                total_len,
-                frag_count: cnt,
-                received_mask: vec![false; usize::from(cnt)],
-                received: 0,
-                buf,
-                created: now,
-            }
+        let pool = &self.pool;
+        let p = g.partials.entry(key).or_insert_with(|| Partial {
+            total_len,
+            frag_count: cnt,
+            received_mask: vec![false; usize::from(cnt)],
+            received: 0,
+            buf: pool.get(total_len as usize),
+            created: now,
         });
         if p.frag_count != cnt || p.total_len != total_len {
             // Conflicting metadata for the same id — drop the partial.
@@ -289,13 +423,14 @@ impl DgramConduit {
             g.partials.remove(&key);
             return None;
         }
-        p.buf[start..end].copy_from_slice(body);
+        body.copy_to_slice(&mut p.buf[start..end]);
+        self.tel.bytes_copied.add(body.len() as u64);
         p.received_mask[i] = true;
         p.received += 1;
         if p.received == p.frag_count {
             let done = g.partials.remove(&key).expect("present");
             self.tel.rx_datagrams.inc();
-            return Some((src, done.buf.freeze()));
+            return Some((src, SgBytes::from(done.buf.freeze())));
         }
         None
     }

@@ -18,7 +18,9 @@ use iwarp_telemetry::{Counter, EndpointId, EventKind, Histogram, Telemetry};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::SmallRng;
 
+use iwarp_common::pool::BufPool;
 use iwarp_common::rng::small_rng;
+use iwarp_common::sg::SgBytes;
 
 use crate::error::{NetError, NetResult};
 use crate::loss::LossState;
@@ -133,6 +135,10 @@ struct FabricInner {
     link_free_at: Mutex<HashMap<crate::wire::NodeId, Instant>>,
     delay_line: Option<Arc<DelayLine>>,
     tel: FabricTel,
+    /// Buffer pool shared by every conduit on this fabric (header
+    /// buffers, reassembly buffers, rx staging). Per-fabric so pooled
+    /// stats in snapshots are not polluted across concurrent tests.
+    pool: BufPool,
 }
 
 /// A shared handle to the simulated network. Cloning is cheap; all clones
@@ -151,6 +157,9 @@ impl Fabric {
         } else {
             None
         };
+        let tel = FabricTel::new();
+        let pool = BufPool::new();
+        tel.tel.attach_pool(pool.stats());
         let inner = Arc::new(FabricInner {
             loss: Mutex::new((small_rng(cfg.seed), LossState::default())),
             cfg,
@@ -161,7 +170,8 @@ impl Fabric {
             delay_seq: AtomicU64::new(0),
             link_free_at: Mutex::new(HashMap::new()),
             delay_line,
-            tel: FabricTel::new(),
+            tel,
+            pool,
         });
         if let Some(dl) = &inner.delay_line {
             let dl = Arc::clone(dl);
@@ -191,6 +201,14 @@ impl Fabric {
     #[must_use]
     pub fn stats(&self) -> &FabricStats {
         &self.inner.stats
+    }
+
+    /// The buffer pool shared by conduits on this fabric. Its
+    /// hit/miss/recycle stats are folded into telemetry snapshots as
+    /// `pool.*`.
+    #[must_use]
+    pub fn pool(&self) -> &BufPool {
+        &self.inner.pool
     }
 
     /// The telemetry domain for everything running over this fabric:
@@ -295,27 +313,26 @@ impl Fabric {
     /// in [`FabricStats`].
     fn transmit(&self, pkt: WirePacket) -> NetResult<()> {
         let cfg = &self.inner.cfg;
-        if pkt.payload.len() > cfg.mtu {
+        let wire_len = pkt.wire_len();
+        if wire_len > cfg.mtu {
             return Err(NetError::TooBig {
-                len: pkt.payload.len(),
+                len: wire_len,
                 max: cfg.mtu,
             });
         }
         let stats = &self.inner.stats;
         stats.tx_packets.fetch_add(1, Ordering::Relaxed);
-        stats
-            .tx_bytes
-            .fetch_add(pkt.payload.len() as u64, Ordering::Relaxed);
+        stats.tx_bytes.fetch_add(wire_len as u64, Ordering::Relaxed);
         let tel = &self.inner.tel;
         tel.tx_packets.inc();
-        tel.tx_bytes.add(pkt.payload.len() as u64);
-        tel.pkt_bytes.record(pkt.payload.len() as u64);
+        tel.tx_bytes.add(wire_len as u64);
+        tel.pkt_bytes.record(wire_len as u64);
         if tel.tel.tracer().armed() {
             tel.tel.tracer().record(
                 tel.tel.now_nanos(),
                 endpoint_id(pkt.src),
                 EventKind::Tx,
-                pkt.payload.len() as u64,
+                wire_len as u64,
                 endpoint_id(pkt.dst).0.into(),
             );
         }
@@ -323,7 +340,7 @@ impl Fabric {
         // Serialization-delay pacing: the shared link transmits one packet
         // at a time at `bandwidth_bps`.
         if cfg.bandwidth_bps > 0 {
-            let wire_bits = ((pkt.payload.len() + WIRE_HEADER_BYTES) * 8) as u64;
+            let wire_bits = ((wire_len + WIRE_HEADER_BYTES) * 8) as u64;
             let tx_nanos = wire_bits
                 .saturating_mul(1_000_000_000)
                 .checked_div(cfg.bandwidth_bps)
@@ -353,7 +370,7 @@ impl Fabric {
                         tel.tel.now_nanos(),
                         endpoint_id(pkt.dst),
                         EventKind::Drop,
-                        pkt.payload.len() as u64,
+                        wire_len as u64,
                         endpoint_id(pkt.src).0.into(),
                     );
                 }
@@ -423,7 +440,7 @@ impl Fabric {
                 tel.tel.now_nanos(),
                 endpoint_id(pkt.dst),
                 EventKind::Rx,
-                pkt.payload.len() as u64,
+                pkt.wire_len() as u64,
                 endpoint_id(pkt.src).0.into(),
             );
         }
@@ -442,7 +459,7 @@ impl Fabric {
                 tel.tel.now_nanos(),
                 endpoint_id(pkt.dst),
                 EventKind::Drop,
-                pkt.payload.len() as u64,
+                pkt.wire_len() as u64,
                 endpoint_id(pkt.src).0.into(),
             );
         }
@@ -553,13 +570,18 @@ impl Endpoint {
         self.fabric.inner.cfg.mtu
     }
 
-    /// Sends one wire packet (≤ MTU bytes) to `dst`.
+    /// Sends one wire packet (≤ MTU bytes) to `dst` as a single
+    /// contiguous frame.
     pub fn send_to(&self, dst: Addr, payload: Bytes) -> NetResult<()> {
-        self.fabric.transmit(WirePacket {
-            src: self.addr,
-            dst,
-            payload,
-        })
+        self.fabric
+            .transmit(WirePacket::contiguous_frame(self.addr, dst, payload))
+    }
+
+    /// Sends one scatter-gather wire packet (`header` ++ `payload` ≤ MTU
+    /// bytes) to `dst` without flattening it.
+    pub fn send_sg(&self, dst: Addr, header: Bytes, payload: SgBytes) -> NetResult<()> {
+        self.fabric
+            .transmit(WirePacket::sg(self.addr, dst, header, payload))
     }
 
     /// Receives the next wire packet, blocking at most `timeout`
@@ -621,7 +643,7 @@ mod tests {
         a.send_to(b.local_addr(), pkt_bytes(100)).unwrap();
         let p = b.recv(Some(Duration::from_secs(1))).unwrap();
         assert_eq!(p.src, a.local_addr());
-        assert_eq!(p.payload.len(), 100);
+        assert_eq!(p.wire_len(), 100);
     }
 
     #[test]
@@ -714,7 +736,7 @@ mod tests {
         }
         for i in 0..50u8 {
             let p = b.recv(Some(Duration::from_secs(1))).unwrap();
-            assert_eq!(p.payload[0], i);
+            assert_eq!(p.contiguous()[0], i);
         }
     }
 

@@ -292,6 +292,12 @@ impl RdConduit {
         self.inner.dg.local_addr()
     }
 
+    /// The fabric this conduit is bound on.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        self.inner.dg.fabric()
+    }
+
     /// Largest message this conduit accepts (one datagram's worth).
     #[must_use]
     pub fn max_datagram(&self) -> usize {

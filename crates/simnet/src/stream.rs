@@ -575,12 +575,12 @@ impl Inner {
         }
         match pkt {
             Ok(p) => {
-                if let Some(seg) = decode_segment(&p.payload) {
+                if let Some(seg) = decode_segment(&p.contiguous()) {
                     self.on_segment(&mut st, p.src, seg);
                 }
                 // Drain everything already queued before checking timers.
                 while let Ok(p) = self.ep.try_recv() {
-                    if let Some(seg) = decode_segment(&p.payload) {
+                    if let Some(seg) = decode_segment(&p.contiguous()) {
                         self.on_segment(&mut st, p.src, seg);
                     }
                 }
@@ -977,7 +977,7 @@ impl StreamListener {
                 }
             };
             let pkt = self.ep.recv(remaining)?;
-            let Some(seg) = decode_segment(&pkt.payload) else {
+            let Some(seg) = decode_segment(&pkt.contiguous()) else {
                 continue;
             };
             if seg.flags & FLAG_SYN == 0 || seg.flags & FLAG_ACK != 0 {

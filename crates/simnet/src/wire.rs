@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use bytes::Bytes;
+use iwarp_common::sg::SgBytes;
 
 use crate::loss::LossModel;
 
@@ -44,14 +45,84 @@ impl fmt::Display for Addr {
 }
 
 /// One packet on the wire: at most [`WireConfig::mtu`] payload bytes.
+///
+/// The packet's bytes-on-the-wire are `header` followed by `payload`
+/// (see [`WirePacket::contiguous`]). Carrying them as separate views is
+/// the software analogue of a NIC gather list: the sending conduit chains
+/// a pooled framing header in front of caller-owned payload slices
+/// without copying either. The legacy contiguous datapath simply uses an
+/// empty `header` and a single-part `payload`; the two forms are
+/// byte-identical on the wire.
 #[derive(Clone, Debug)]
 pub struct WirePacket {
     /// Source endpoint.
     pub src: Addr,
     /// Destination endpoint.
     pub dst: Addr,
-    /// Payload (headers of upper protocols included).
-    pub payload: Bytes,
+    /// Transport framing header prepended by the sending conduit (may be
+    /// empty when `payload` already starts with it).
+    pub header: Bytes,
+    /// Payload (headers of upper protocols included) as a scatter-gather
+    /// list.
+    pub payload: SgBytes,
+}
+
+impl WirePacket {
+    /// A packet whose whole frame is one contiguous buffer (the legacy
+    /// datapath and hand-rolled test packets).
+    #[must_use]
+    pub fn contiguous_frame(src: Addr, dst: Addr, frame: Bytes) -> Self {
+        Self {
+            src,
+            dst,
+            header: Bytes::new(),
+            payload: SgBytes::from(frame),
+        }
+    }
+
+    /// A scatter-gather packet: `header` ++ `payload` on the wire.
+    #[must_use]
+    pub fn sg(src: Addr, dst: Addr, header: Bytes, payload: SgBytes) -> Self {
+        Self {
+            src,
+            dst,
+            header,
+            payload,
+        }
+    }
+
+    /// Total frame length on the wire (what the MTU limit, pacing, and
+    /// byte counters see).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.header.len() + self.payload.len()
+    }
+
+    /// The frame as one contiguous buffer — the canonical wire bytes.
+    /// Zero-copy when the header is empty and the payload single-part.
+    #[must_use]
+    pub fn contiguous(&self) -> Bytes {
+        if self.header.is_empty() {
+            return self.payload.to_bytes();
+        }
+        let mut v = Vec::with_capacity(self.wire_len());
+        v.extend_from_slice(&self.header);
+        for p in self.payload.parts() {
+            v.extend_from_slice(p);
+        }
+        Bytes::from(v)
+    }
+
+    /// The frame as a scatter-gather list (header part first).
+    #[must_use]
+    pub fn frame(&self) -> SgBytes {
+        let mut sg = SgBytes::with_capacity(1 + self.payload.parts().len());
+        sg.push(self.header.clone());
+        for p in self.payload.parts() {
+            sg.push(p.clone());
+        }
+        sg
+    }
 }
 
 /// Per-packet link-layer + IP + UDP header overhead counted when pacing to
@@ -122,6 +193,21 @@ mod tests {
     #[test]
     fn addr_display() {
         assert_eq!(Addr::new(3, 77).to_string(), "n3:77");
+    }
+
+    #[test]
+    fn sg_and_contiguous_frames_are_byte_identical() {
+        let src = Addr::new(0, 1);
+        let dst = Addr::new(1, 1);
+        let mut payload = SgBytes::new();
+        payload.push(Bytes::from(vec![3, 4, 5]));
+        payload.push(Bytes::from(vec![6, 7]));
+        let sg = WirePacket::sg(src, dst, Bytes::from(vec![1, 2]), payload);
+        let flat = WirePacket::contiguous_frame(src, dst, Bytes::from(vec![1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(sg.wire_len(), 7);
+        assert_eq!(flat.wire_len(), 7);
+        assert_eq!(sg.contiguous(), flat.contiguous());
+        assert_eq!(&sg.frame().to_bytes()[..], &flat.frame().to_bytes()[..]);
     }
 
     #[test]

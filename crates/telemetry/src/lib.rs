@@ -47,6 +47,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use iwarp_common::memacct::MemRegistry;
+use iwarp_common::pool::PoolStats;
 use parking_lot::RwLock;
 
 use counters::Registry;
@@ -71,6 +72,9 @@ struct Inner {
     manual: std::sync::atomic::AtomicBool,
     /// Memory registries folded into snapshots alongside the counters.
     mem: RwLock<Vec<MemRegistry>>,
+    /// Buffer-pool stats folded into snapshots under `pool.*` (summed if
+    /// several pools are attached to one domain).
+    pools: RwLock<Vec<PoolStats>>,
 }
 
 impl Telemetry {
@@ -87,6 +91,7 @@ impl Telemetry {
                 manual_nanos: AtomicU64::new(0),
                 manual: std::sync::atomic::AtomicBool::new(false),
                 mem: RwLock::new(Vec::new()),
+                pools: RwLock::new(Vec::new()),
             }),
         }
     }
@@ -136,6 +141,15 @@ impl Telemetry {
         self.inner.mem.write().push(reg);
     }
 
+    /// Registers a buffer pool whose hit/miss/recycle counters appear in
+    /// every [`Snapshot`] as `pool.{hits,misses,recycled}` (summed when
+    /// several pools share the domain). The datapath's `pool.bytes_copied`
+    /// counter lives in the ordinary counter registry; together they make
+    /// copy elimination measurable.
+    pub fn attach_pool(&self, stats: PoolStats) {
+        self.inner.pools.write().push(stats);
+    }
+
     /// Captures the current value of every counter, histogram, and
     /// attached memory scope.
     #[must_use]
@@ -151,6 +165,20 @@ impl Telemetry {
             for (scope, current, peak) in reg.snapshot() {
                 entries.push((format!("mem.{scope}.current"), current));
                 entries.push((format!("mem.{scope}.peak"), peak));
+            }
+        }
+        {
+            let pools = self.inner.pools.read();
+            if !pools.is_empty() {
+                let (mut hits, mut misses, mut recycled) = (0u64, 0u64, 0u64);
+                for p in pools.iter() {
+                    hits += p.hits();
+                    misses += p.misses();
+                    recycled += p.recycled();
+                }
+                entries.push(("pool.hits".into(), hits));
+                entries.push(("pool.misses".into(), misses));
+                entries.push(("pool.recycled".into(), recycled));
             }
         }
         entries.sort();

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Sanity-checks the fig5/fig6 CSVs a `figures` run produced.
+# Usage: scripts/check_figures.sh RESULTS_DIR
+#
+# "Sane" here is deliberately coarse — absolute numbers vary by host and
+# quick-mode runs are noisy — but the *shape* must hold on any machine:
+# every cell is a positive finite number, and each series is monotone
+# between its extremes (latency grows from the smallest to the largest
+# message; bandwidth at the largest message beats the smallest).
+set -eu
+
+dir="${1:?usage: check_figures.sh RESULTS_DIR}"
+
+check() {
+    file="$1" mode="$2"
+    [ -f "$file" ] || { echo "missing $file" >&2; exit 1; }
+    awk -F, -v mode="$mode" -v fname="$file" '
+        NR == 1 { cols = NF; next }
+        {
+            if (NF != cols) { printf "%s:%d: ragged row\n", fname, NR; bad = 1; exit 1 }
+            for (i = 2; i <= NF; i++) {
+                if ($i + 0 <= 0) {
+                    printf "%s:%d: non-positive value %s\n", fname, NR, $i
+                    bad = 1; exit 1
+                }
+                if (NR == 2) first[i] = $i + 0
+                last[i] = $i + 0
+            }
+            rows++
+        }
+        END {
+            if (bad) exit 1
+            if (rows < 2) { printf "%s: too few rows (%d)\n", fname, rows; exit 1 }
+            for (i = 2; i <= cols; i++) {
+                if (mode == "latency" && last[i] <= first[i]) {
+                    printf "%s: col %d latency not increasing (%.3f -> %.3f)\n", \
+                        fname, i, first[i], last[i]
+                    exit 1
+                }
+                if (mode == "bandwidth" && last[i] <= first[i]) {
+                    printf "%s: col %d bandwidth not increasing (%.3f -> %.3f)\n", \
+                        fname, i, first[i], last[i]
+                    exit 1
+                }
+            }
+        }
+    ' "$file"
+}
+
+check "$dir/fig5_latency.csv" latency
+check "$dir/fig6_bandwidth.csv" bandwidth
+echo "figures CSVs in $dir look sane"

@@ -19,4 +19,16 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke: copypath kernels run once (--test mode)"
+cargo bench -p iwarp-bench --bench copypath -- --test
+
+echo "==> figures smoke: fig5/fig6 CSVs sane under both copy paths"
+for path in legacy sg; do
+    out="target/ci-figures-$path"
+    rm -rf "$out"
+    cargo run --release -p iwarp-bench --bin figures -- \
+        --fig5 --fig6 --quick --copy-path "$path" --out "$out" >/dev/null
+    sh scripts/check_figures.sh "$out"
+done
+
 echo "CI green."

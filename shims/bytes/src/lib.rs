@@ -4,9 +4,13 @@
 //! the subset it uses: `Bytes` (cheaply cloneable, sliceable, immutable),
 //! `BytesMut` (growable builder that freezes into `Bytes`), and the
 //! `Buf`/`BufMut` traits' big-endian put/advance methods. `Bytes` is an
-//! `Arc<[u8]>` plus an offset window, so `clone()` and `slice()` are O(1)
-//! and never copy payload — the property the zero-copy paths in `simnet`
-//! and `core` rely on.
+//! `Arc<Vec<u8>>` plus an offset window, so `clone()` and `slice()` are
+//! O(1) and never copy payload — the property the zero-copy paths in
+//! `simnet` and `core` rely on. Storage is `Arc<Vec<u8>>` rather than
+//! `Arc<[u8]>` so `From<Vec<u8>>` (and therefore `BytesMut::freeze`) is
+//! allocation-free, and so a buffer pool can hold a clone of the storage
+//! and reclaim the allocation once every view has been dropped
+//! ([`Bytes::from_shared`] / [`Bytes::shared_storage`]).
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -16,7 +20,7 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable window onto shared byte storage.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     off: usize,
     len: usize,
 }
@@ -26,10 +30,29 @@ impl Bytes {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
             off: 0,
             len: 0,
         }
+    }
+
+    /// Creates a view over already-shared storage without copying.
+    ///
+    /// This is how the buffer pool hands out pooled allocations: it keeps
+    /// its own clone of the `Arc` and reclaims the `Vec` once the strong
+    /// count drops back to one.
+    #[must_use]
+    pub fn from_shared(data: Arc<Vec<u8>>) -> Self {
+        let len = data.len();
+        Self { data, off: 0, len }
+    }
+
+    /// The shared storage backing this view (the whole allocation, not
+    /// just the visible window). Used by pool recycling to observe the
+    /// reference count.
+    #[must_use]
+    pub fn shared_storage(&self) -> &Arc<Vec<u8>> {
+        &self.data
     }
 
     /// Creates `Bytes` viewing a static slice (copied once into shared
@@ -44,7 +67,7 @@ impl Bytes {
     #[must_use]
     pub fn copy_from_slice(s: &[u8]) -> Self {
         Self {
-            data: Arc::from(s),
+            data: Arc::new(s.to_vec()),
             off: 0,
             len: s.len(),
         }
@@ -112,9 +135,12 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        // Zero-copy: the Vec becomes the shared storage as-is. Spare
+        // capacity is retained (and reusable if the allocation is later
+        // reclaimed by a pool via `shared_storage`).
         let len = v.len();
         Self {
-            data: Arc::from(v),
+            data: Arc::new(v),
             off: 0,
             len,
         }
@@ -428,6 +454,26 @@ mod tests {
         b.advance(1);
         assert_eq!(&b[..], &[8, 7]);
         assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn freeze_and_from_vec_share_storage() {
+        // `From<Vec<u8>>` must not reallocate: the pool recycling trick
+        // depends on views keeping the original allocation alive.
+        let v = vec![1u8, 2, 3, 4];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.shared_storage().as_ptr(), ptr);
+
+        let shared = Arc::new(vec![5u8, 6, 7]);
+        let view = Bytes::from_shared(Arc::clone(&shared));
+        assert_eq!(&view[..], &[5, 6, 7]);
+        assert_eq!(Arc::strong_count(&shared), 2);
+        let sub = view.slice(1..);
+        assert_eq!(Arc::strong_count(&shared), 3);
+        drop(view);
+        drop(sub);
+        assert_eq!(Arc::strong_count(&shared), 1);
     }
 
     #[test]
