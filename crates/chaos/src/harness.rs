@@ -1,0 +1,604 @@
+//! The schedule-randomizing chaos harness.
+//!
+//! [`run_plan`] drives the full verbs stack (untagged sends, RDMA
+//! Write-Records, RDMA Reads) and the socket shim over fabrics with a
+//! seeded [`FaultPlan`] installed, then runs every invariant check from
+//! [`crate::invariants`] against the final state. Everything is
+//! deterministic: poll-mode QPs (no engine threads), a latency-free
+//! fabric (synchronous delivery), and per-link fault RNG streams mean
+//! the same seed always produces the same fault trace and the same
+//! verdict — `chaos --replay <seed>` reproduces a failure byte-for-byte.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use iwarp::wr::RecvWr;
+use iwarp::{Access, Cq, Cqe, CqeOpcode, CqeStatus, Device, QpConfig, UdQp};
+use iwarp_common::copypath::CopyPath;
+use iwarp_common::rng::{derive_seed, mix64};
+use iwarp_socket::{SocketConfig, SocketStack};
+use simnet::{Fabric, FaultEvent, FaultPlan, NodeId, WireConfig};
+
+use crate::invariants::{
+    check_conservation, check_cq_discipline, check_datagram_boundaries, check_recv_accounting,
+    check_window_contents, check_write_record_cqes, Violation, WriteWindow,
+};
+
+/// Byte value guard zones are filled with before the run; any other value
+/// found outside a claimed range after the run is a placement escape.
+pub const SENTINEL: u8 = 0xA5;
+
+/// Per-message window stride in the tagged/untagged sink regions — large
+/// enough for the biggest workload message plus a guard gap.
+const SLOT: usize = 176 * 1024;
+
+/// Workload message sizes, sampled per message. Mixes sub-MTU, one-
+/// datagram, exactly-64KiB-boundary, and multi-datagram messages.
+const SIZES: [usize; 6] = [32, 700, 4_000, 30_000, 66_000, 150_000];
+
+/// How long the drive loop may go without a single new completion before
+/// the phase is considered quiescent. Must exceed the QP TTLs (60 ms)
+/// plus the receive engine's 50 ms expiry-sweep throttle.
+const QUIET: Duration = Duration::from_millis(170);
+
+/// Hard per-phase deadline (a liveness backstop, never the common exit).
+const DEADLINE: Duration = Duration::from_secs(4);
+
+/// Knobs for one plan run.
+#[derive(Clone, Debug)]
+pub struct ChaosOpts {
+    /// Untagged sends in the verbs phase.
+    pub send_msgs: usize,
+    /// RDMA Write-Records in the verbs phase.
+    pub write_msgs: usize,
+    /// RDMA Reads in the verbs phase.
+    pub read_msgs: usize,
+    /// Datagrams in the socket phase.
+    pub dgrams: usize,
+    /// Collect a telemetry forensic dump (trace + snapshot) for failures.
+    pub forensic: bool,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        Self {
+            send_msgs: 6,
+            write_msgs: 6,
+            read_msgs: 2,
+            dgrams: 30,
+            forensic: false,
+        }
+    }
+}
+
+/// Verbs-phase outcome counts (diagnostic, not part of the verdict).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerbsSummary {
+    /// Posted receives completed successfully.
+    pub recv_success: usize,
+    /// Posted receives recovered by timeout.
+    pub recv_expired: usize,
+    /// Target-side Write-Record completions (success + partial).
+    pub write_cqes: usize,
+    /// ... of which fully placed.
+    pub write_success: usize,
+    /// ... of which partially placed.
+    pub write_partial: usize,
+    /// Reads completed with data.
+    pub read_success: usize,
+    /// Reads expired.
+    pub read_expired: usize,
+    /// Receiver-side CRC rejections (chaos corruption caught in flight).
+    pub crc_errors: u64,
+    /// Receiver-side malformed-segment rejections (truncation, mangled
+    /// headers).
+    pub malformed: u64,
+}
+
+/// Socket-phase outcome counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SocketSummary {
+    /// Datagrams sent.
+    pub sent: usize,
+    /// Datagrams surfaced at the receiver.
+    pub received: usize,
+}
+
+/// Everything one plan run produced: the verdict plus the evidence
+/// needed to reproduce and diagnose it.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// The plan seed (replay key).
+    pub seed: u64,
+    /// The derived adversary configuration.
+    pub plan: FaultPlan,
+    /// Invariant violations (empty = the run passed).
+    pub violations: Vec<Violation>,
+    /// Verbs-phase fault trace (deterministic per seed).
+    pub fault_trace: Vec<FaultEvent>,
+    /// Socket-phase fault trace (deterministic per seed).
+    pub socket_fault_trace: Vec<FaultEvent>,
+    /// Verbs-phase outcome counts.
+    pub verbs: VerbsSummary,
+    /// Socket-phase outcome counts.
+    pub socket: SocketSummary,
+    /// Telemetry forensics, when [`ChaosOpts::forensic`] was set.
+    pub forensic: Option<String>,
+}
+
+impl PlanReport {
+    /// True when every invariant held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the failure evidence: seed, verdicts, and the minimal
+    /// fault trace needed to replay.
+    #[must_use]
+    pub fn render_failure(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        if self.ok() {
+            let _ = writeln!(s, "chaos plan report — seed {}", self.seed);
+        } else {
+            let _ = writeln!(s, "chaos plan FAILED — replay with: chaos --replay {}", self.seed);
+        }
+        let _ = writeln!(s, "plan: {:?}", self.plan);
+        for v in &self.violations {
+            let _ = writeln!(s, "  {v}");
+        }
+        let _ = writeln!(
+            s,
+            "fault trace ({} verbs events, {} socket events):",
+            self.fault_trace.len(),
+            self.socket_fault_trace.len()
+        );
+        for e in &self.fault_trace {
+            let _ = writeln!(s, "  [verbs]  {e}");
+        }
+        for e in &self.socket_fault_trace {
+            let _ = writeln!(s, "  [socket] {e}");
+        }
+        if let Some(f) = &self.forensic {
+            let _ = writeln!(s, "{f}");
+        }
+        s
+    }
+}
+
+/// Deterministic message body for tag `tag`: the first 16 bytes embed
+/// `(tag, len)` so untagged receivers can self-identify the message that
+/// landed in a window; the rest is a `mix64` keystream.
+fn msg_bytes(tag: u64, len: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(len);
+    let mut word = 0u64;
+    for k in 0..len {
+        if k % 8 == 0 {
+            word = mix64(tag ^ (k as u64 / 8));
+        }
+        v.push((word >> ((k % 8) * 8)) as u8);
+    }
+    if len >= 16 {
+        v[..8].copy_from_slice(&tag.to_le_bytes());
+        v[8..16].copy_from_slice(&(len as u64).to_le_bytes());
+    }
+    v
+}
+
+fn pick_size(stream: &mut u64) -> usize {
+    *stream = mix64(*stream);
+    SIZES[(*stream % SIZES.len() as u64) as usize]
+}
+
+struct DriveCqs<'a> {
+    b_recv: &'a Cq,
+    a_recv: &'a Cq,
+    a_send: &'a Cq,
+    b_send: &'a Cq,
+}
+
+/// Drives both poll-mode QPs and drains every CQ until no completion has
+/// arrived for [`QUIET`] (or [`DEADLINE`] passes). Returns the drained
+/// completions per queue.
+fn drive_until_quiet(
+    qa: &UdQp,
+    qb: &UdQp,
+    cqs: &DriveCqs<'_>,
+    sink_recv_cqes: &mut Vec<Cqe>,
+    read_cqes: &mut Vec<Cqe>,
+    send_cqes: &mut Vec<Cqe>,
+) {
+    let start = Instant::now();
+    let mut last_event = Instant::now();
+    loop {
+        qb.progress(Duration::from_millis(1));
+        qa.progress(Duration::from_millis(1));
+        let mut any = false;
+        while let Some(c) = cqs.b_recv.poll() {
+            sink_recv_cqes.push(c);
+            any = true;
+        }
+        while let Some(c) = cqs.a_recv.poll() {
+            read_cqes.push(c);
+            any = true;
+        }
+        while let Some(c) = cqs.a_send.poll() {
+            send_cqes.push(c);
+            any = true;
+        }
+        while cqs.b_send.poll().is_some() {
+            any = true;
+        }
+        let now = Instant::now();
+        if any {
+            last_event = now;
+        }
+        if now.duration_since(last_event) > QUIET || now.duration_since(start) > DEADLINE {
+            return;
+        }
+    }
+}
+
+/// Runs the verbs + socket stacks under the adversary derived from
+/// `seed` and returns the full report.
+#[must_use]
+pub fn run_plan(seed: u64, opts: &ChaosOpts) -> PlanReport {
+    let plan = FaultPlan::from_seed(seed);
+    let mut violations = Vec::new();
+
+    // ---- Verbs phase -----------------------------------------------
+    let fab = Fabric::new(WireConfig::default());
+    fab.install_fault_plan(plan.clone());
+    if opts.forensic {
+        fab.telemetry().tracer().enable_all();
+    }
+    let qp_cfg = QpConfig {
+        poll_mode: true,
+        recv_ttl: Duration::from_millis(60),
+        record_ttl: Duration::from_millis(60),
+        read_ttl: Duration::from_millis(60),
+        // Alternate datapaths across seeds so both are chaos-hardened.
+        copy_path: if seed.is_multiple_of(2) {
+            CopyPath::Sg
+        } else {
+            CopyPath::Legacy
+        },
+        ..QpConfig::default()
+    };
+    let a = Device::new(&fab, NodeId(0));
+    let b = Device::new(&fab, NodeId(1));
+    let (a_send, a_recv) = (Cq::new(4096), Cq::new(4096));
+    let (b_send, b_recv) = (Cq::new(4096), Cq::new(4096));
+    let qa = a
+        .create_ud_qp(None, &a_send, &a_recv, qp_cfg.clone())
+        .expect("create qa");
+    let qb = b
+        .create_ud_qp(None, &b_send, &b_recv, qp_cfg)
+        .expect("create qb");
+
+    let mut size_stream = derive_seed(seed, 3);
+
+    // Untagged sends land in per-WR windows of `sink_recv`.
+    let sends: Vec<Vec<u8>> = (0..opts.send_msgs)
+        .map(|i| msg_bytes(derive_seed(seed, 100 + i as u64), pick_size(&mut size_stream)))
+        .collect();
+    let send_by_tag: HashMap<u64, usize> = (0..opts.send_msgs)
+        .map(|i| (derive_seed(seed, 100 + i as u64), i))
+        .collect();
+    let sink_recv = b.register(opts.send_msgs * SLOT, Access::Local);
+    sink_recv.fill(SENTINEL);
+    let posted_recv_ids: Vec<u64> = (0..opts.send_msgs).map(|i| 100 + i as u64).collect();
+    for (i, id) in posted_recv_ids.iter().enumerate() {
+        qb.post_recv(RecvWr {
+            wr_id: *id,
+            mr: sink_recv.clone(),
+            offset: (i * SLOT) as u64,
+            len: SLOT as u32,
+        })
+        .expect("post recv");
+    }
+
+    // Write-Records land in per-message windows of `sink_wr`.
+    let writes: Vec<Vec<u8>> = (0..opts.write_msgs)
+        .map(|i| msg_bytes(derive_seed(seed, 200 + i as u64), pick_size(&mut size_stream)))
+        .collect();
+    let sink_wr = b.register(opts.write_msgs * SLOT, Access::RemoteWrite);
+    sink_wr.fill(SENTINEL);
+    let write_windows: Vec<WriteWindow> = writes
+        .iter()
+        .enumerate()
+        .map(|(i, data)| WriteWindow {
+            stag: sink_wr.stag(),
+            base_to: (i * SLOT) as u64,
+            data: data.clone(),
+        })
+        .collect();
+
+    // Reads fetch disjoint ranges of `read_src` into `read_sink` windows.
+    let read_len: usize = 10_000;
+    let read_src_data = msg_bytes(derive_seed(seed, 300), opts.read_msgs.max(1) * read_len);
+    let read_src = b.register_with(&read_src_data, Access::RemoteRead);
+    let read_sink = a.register(opts.read_msgs.max(1) * SLOT, Access::Local);
+    read_sink.fill(SENTINEL);
+
+    // Post everything in a fixed order (the deterministic schedule).
+    let mut posted_send_ids = Vec::new();
+    for (i, data) in sends.iter().enumerate() {
+        let id = i as u64;
+        qa.post_send(id, Bytes::from(data.clone()), qb.dest())
+            .expect("post send");
+        posted_send_ids.push(id);
+    }
+    for (i, data) in writes.iter().enumerate() {
+        let id = 1000 + i as u64;
+        qa.post_write_record(
+            id,
+            Bytes::from(data.clone()),
+            qb.dest(),
+            sink_wr.stag(),
+            (i * SLOT) as u64,
+        )
+        .expect("post write-record");
+        posted_send_ids.push(id);
+    }
+    let read_ids: Vec<u64> = (0..opts.read_msgs).map(|i| 2000 + i as u64).collect();
+    for (i, id) in read_ids.iter().enumerate() {
+        qa.post_read(
+            *id,
+            &read_sink,
+            (i * SLOT) as u64,
+            read_len as u32,
+            qb.dest(),
+            read_src.stag(),
+            (i * read_len) as u64,
+        )
+        .expect("post read");
+    }
+
+    let cqs = DriveCqs {
+        b_recv: &b_recv,
+        a_recv: &a_recv,
+        a_send: &a_send,
+        b_send: &b_send,
+    };
+    let mut recv_cqes = Vec::new();
+    let mut read_side_cqes = Vec::new();
+    let mut send_cqes = Vec::new();
+    drive_until_quiet(&qa, &qb, &cqs, &mut recv_cqes, &mut read_side_cqes, &mut send_cqes);
+    // Release reorder holds, then let the stacks settle again (released
+    // packets can complete messages or start TTL clocks).
+    fab.chaos_flush();
+    drive_until_quiet(&qa, &qb, &cqs, &mut recv_cqes, &mut read_side_cqes, &mut send_cqes);
+
+    // -- Invariants over the verbs phase --
+    violations.extend(check_conservation(&fab));
+
+    let wr_cqes: Vec<Cqe> = recv_cqes
+        .iter()
+        .filter(|c| c.opcode == CqeOpcode::WriteRecord)
+        .cloned()
+        .collect();
+    violations.extend(check_write_record_cqes(&wr_cqes, &write_windows, &sink_wr));
+    violations.extend(check_window_contents(&sink_wr, &write_windows, SENTINEL));
+
+    // Untagged windows: Success completions must contain exactly one
+    // sent message, self-identified by its embedded tag.
+    let mut recv_windows: Vec<WriteWindow> = Vec::new();
+    let mut verbs = VerbsSummary::default();
+    for cqe in recv_cqes.iter().filter(|c| c.opcode == CqeOpcode::Recv) {
+        let win_base = (cqe.wr_id - 100) * SLOT as u64;
+        match cqe.status {
+            CqeStatus::Success => {
+                verbs.recv_success += 1;
+                let got = sink_recv
+                    .read_vec(win_base, cqe.byte_len as usize)
+                    .expect("window read in bounds");
+                let tag = u64::from_le_bytes(got[..8].try_into().expect("len >= 16"));
+                match send_by_tag.get(&tag) {
+                    Some(&idx) if sends[idx] == got => {
+                        recv_windows.push(WriteWindow {
+                            stag: sink_recv.stag(),
+                            base_to: win_base,
+                            data: got,
+                        });
+                    }
+                    _ => violations.push(Violation {
+                        invariant: "recv-content",
+                        detail: format!(
+                            "recv wr_id={} delivered {} bytes matching no sent message",
+                            cqe.wr_id, cqe.byte_len
+                        ),
+                    }),
+                }
+            }
+            CqeStatus::Expired => {
+                verbs.recv_expired += 1;
+                // Partial placement-on-arrival is legitimate; accept the
+                // window as-is but keep the guard area strict.
+                let got = sink_recv
+                    .read_vec(win_base, SLOT)
+                    .expect("window read in bounds");
+                recv_windows.push(WriteWindow {
+                    stag: sink_recv.stag(),
+                    base_to: win_base,
+                    data: got,
+                });
+            }
+            other => violations.push(Violation {
+                invariant: "recv-accounting",
+                detail: format!("recv wr_id={} completed with {other:?}", cqe.wr_id),
+            }),
+        }
+    }
+    violations.extend(check_window_contents(&sink_recv, &recv_windows, SENTINEL));
+
+    let recv_consumed = recv_cqes
+        .iter()
+        .filter(|c| c.opcode == CqeOpcode::Recv)
+        .count();
+    violations.extend(check_recv_accounting(
+        posted_recv_ids.len(),
+        recv_consumed,
+        qb.posted_recvs(),
+    ));
+    violations.extend(check_cq_discipline(
+        &recv_cqes,
+        &posted_recv_ids,
+        &send_cqes,
+        &posted_send_ids,
+    ));
+
+    // Reads: completions are unique per wr_id; successful reads must have
+    // fetched the exact source bytes.
+    violations.extend(check_cq_discipline(&read_side_cqes, &read_ids, &[], &[]));
+    let mut read_windows: Vec<WriteWindow> = Vec::new();
+    for cqe in &read_side_cqes {
+        if cqe.opcode != CqeOpcode::RdmaRead {
+            violations.push(Violation {
+                invariant: "cq-uniqueness",
+                detail: format!("unexpected {:?} on the read-side CQ", cqe.opcode),
+            });
+            continue;
+        }
+        let i = (cqe.wr_id - 2000) as usize;
+        match cqe.status {
+            CqeStatus::Success => {
+                verbs.read_success += 1;
+                let got = read_sink
+                    .read_vec((i * SLOT) as u64, read_len)
+                    .expect("read window in bounds");
+                if got != read_src_data[i * read_len..(i + 1) * read_len] {
+                    violations.push(Violation {
+                        invariant: "read-content",
+                        detail: format!("read wr_id={} returned wrong bytes", cqe.wr_id),
+                    });
+                } else {
+                    read_windows.push(WriteWindow {
+                        stag: read_sink.stag(),
+                        base_to: (i * SLOT) as u64,
+                        data: got,
+                    });
+                }
+            }
+            CqeStatus::Expired => {
+                verbs.read_expired += 1;
+                let got = read_sink
+                    .read_vec((i * SLOT) as u64, SLOT)
+                    .expect("read window in bounds");
+                read_windows.push(WriteWindow {
+                    stag: read_sink.stag(),
+                    base_to: (i * SLOT) as u64,
+                    data: got,
+                });
+            }
+            other => violations.push(Violation {
+                invariant: "cq-uniqueness",
+                detail: format!("read wr_id={} completed with {other:?}", cqe.wr_id),
+            }),
+        }
+    }
+    violations.extend(check_window_contents(&read_sink, &read_windows, SENTINEL));
+
+    for cqe in &wr_cqes {
+        verbs.write_cqes += 1;
+        match cqe.status {
+            CqeStatus::Success => verbs.write_success += 1,
+            CqeStatus::Partial => verbs.write_partial += 1,
+            _ => {}
+        }
+    }
+    verbs.crc_errors = qb.stats().crc_errors.load(Ordering::Relaxed)
+        + qa.stats().crc_errors.load(Ordering::Relaxed);
+    verbs.malformed = qb.stats().malformed.load(Ordering::Relaxed)
+        + qa.stats().malformed.load(Ordering::Relaxed);
+
+    let fault_trace = fab.fault_trace();
+    let forensic = if opts.forensic && !violations.is_empty() {
+        Some(format!(
+            "{}\n{}",
+            fab.telemetry().snapshot(),
+            fab.telemetry().tracer().dump()
+        ))
+    } else {
+        None
+    };
+
+    // ---- Socket phase ----------------------------------------------
+    let (socket, socket_fault_trace) = {
+        let sfab = Fabric::new(WireConfig::default());
+        sfab.install_fault_plan(FaultPlan::from_seed(derive_seed(seed, 4)));
+        let cfg = SocketConfig {
+            qp: QpConfig {
+                poll_mode: true,
+                recv_ttl: Duration::from_millis(60),
+                ..QpConfig::default()
+            },
+            ..SocketConfig::default()
+        };
+        let sa = SocketStack::with_config(&sfab, NodeId(0), Default::default(), cfg.clone());
+        let sb = SocketStack::with_config(&sfab, NodeId(1), Default::default(), cfg);
+        let tx = sa.dgram().expect("tx socket");
+        let rx = sb.dgram_bound(4000).expect("rx socket");
+        let max = rx.max_datagram();
+        let mut sent: Vec<Vec<u8>> = Vec::new();
+        let mut received: Vec<Vec<u8>> = Vec::new();
+        let mut buf = vec![0u8; max];
+        let mut s = derive_seed(seed, 5);
+        for i in 0..opts.dgrams {
+            s = mix64(s);
+            let len = 16 + (s as usize) % (max - 16);
+            let d = msg_bytes(derive_seed(seed, 400 + i as u64), len);
+            tx.send_to(&d, rx.local_addr()).expect("socket send");
+            sent.push(d);
+            // Interleave receives so the 16 pre-posted slots recycle.
+            while let Ok(Some((n, _src))) = rx.try_recv_from(&mut buf) {
+                received.push(buf[..n].to_vec());
+            }
+        }
+        sfab.chaos_flush();
+        let deadline = Instant::now() + DEADLINE;
+        let mut last = Instant::now();
+        while last.elapsed() < QUIET && Instant::now() < deadline {
+            match rx.try_recv_from(&mut buf) {
+                Ok(Some((n, _src))) => {
+                    received.push(buf[..n].to_vec());
+                    last = Instant::now();
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                Err(_) => break,
+            }
+        }
+        violations.extend(check_datagram_boundaries(&sent, &received));
+        violations.extend(check_conservation(&sfab));
+        (
+            SocketSummary {
+                sent: sent.len(),
+                received: received.len(),
+            },
+            sfab.fault_trace(),
+        )
+    };
+
+    PlanReport {
+        seed,
+        plan,
+        violations,
+        fault_trace,
+        socket_fault_trace,
+        verbs,
+        socket,
+        forensic,
+    }
+}
+
+/// Runs `n` consecutive plans derived from `master` and returns every
+/// report (callers decide how to render failures).
+#[must_use]
+pub fn run_sweep(master: u64, n: usize, opts: &ChaosOpts) -> Vec<PlanReport> {
+    (0..n)
+        .map(|i| run_plan(derive_seed(master, i as u64), opts))
+        .collect()
+}

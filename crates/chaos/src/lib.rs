@@ -1,0 +1,32 @@
+//! `iwarp-chaos` — deterministic chaos testing for the datagram-iWARP
+//! stack.
+//!
+//! The paper's central correctness claim is that datagram-iWARP stays
+//! *well-defined* under an unreliable wire: Write-Record placement is
+//! all-or-nothing per segment, validity maps and completions reconcile,
+//! posted receives are recovered by timeout, and the socket shim
+//! preserves datagram boundaries — for **any** drop pattern (§V,
+//! §VI.A.2). This crate turns that claim into a standing, reusable gate:
+//!
+//! * [`simnet::FaultPlan`] (installed via `Fabric::install_fault_plan`)
+//!   is the seeded adversary: per-link drop, duplication, reordering,
+//!   single-bit corruption, truncation, and partition windows, every
+//!   injected fault recorded to a replayable trace.
+//! * [`invariants`] is the cross-layer oracle: packet conservation,
+//!   Write-Record validity-map ↔ CQE reconciliation, no placement
+//!   outside claimed ranges (guard zones), CQ uniqueness/ordering, and
+//!   socket datagram-boundary preservation.
+//! * [`harness`] drives the full verbs + socket stack under one seeded
+//!   plan ([`run_plan`]) or a sweep ([`run_sweep`]), deterministically:
+//!   same seed → same fault trace → same verdict.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod invariants;
+
+pub use harness::{run_plan, run_sweep, ChaosOpts, PlanReport, SocketSummary, VerbsSummary, SENTINEL};
+pub use invariants::{
+    check_conservation, check_cq_discipline, check_datagram_boundaries, check_recv_accounting,
+    check_window_contents, check_write_record_cqes, Violation, WriteWindow,
+};

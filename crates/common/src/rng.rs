@@ -38,6 +38,19 @@ pub fn small_rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
 }
 
+/// Builds a seeded RNG for test/bench code, announcing the seed on
+/// stderr so a failing run always shows how to reproduce it (libtest
+/// captures stderr and replays it only for failing tests).
+///
+/// Entropy-seeded RNG constructors are banned in test code (enforced
+/// by a grep in `scripts/ci.sh`); route every test RNG through here or
+/// [`small_rng`] with the seed carried in the assertion message.
+#[must_use]
+pub fn test_rng(seed: u64) -> SmallRng {
+    eprintln!("rng seed: {seed:#x} ({seed})");
+    small_rng(seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

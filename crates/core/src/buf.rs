@@ -165,20 +165,20 @@ impl MemoryRegion {
     }
 
     /// Places `data` at `offset` while resolving a deferred CRC check —
-    /// the fused check-while-copy for the datapath's one mandatory copy.
+    /// the fused verify-then-place for the datapath's one mandatory copy.
     ///
-    /// Bounds are checked before any byte moves. On digest mismatch the
-    /// bytes have already been placed (cut-through semantics, as on a
-    /// store-and-verify RNIC) but [`IwarpError::CrcMismatch`] tells the
-    /// engine to withhold the validity record and completion, so the
-    /// application never learns the range became valid.
+    /// Bounds are checked before any byte moves, and the digest settles
+    /// *before* any byte is placed (store-and-verify semantics): on
+    /// [`IwarpError::CrcMismatch`] the region is untouched. This matters
+    /// under duplication — a corrupted duplicate of an already-placed,
+    /// already-validated segment must not clobber the validated bytes,
+    /// since the validity record naming that range stays visible to the
+    /// application. Cut-through placement (bytes first, verdict after)
+    /// would break exactly that invariant.
     ///
-    /// The region's aliasing model forbids forming references into the
-    /// storage (racing readers), so instead of handing the whole range to
-    /// [`Crc32c::update_copy`](iwarp_common::crc32::Crc32c::update_copy)
-    /// the copy and the (hardware-accelerated) digest interleave in
-    /// page-sized runs of the *source*, which stays L1-hot between the
-    /// two passes — the same single-traversal effect.
+    /// The digest pass and the copy pass both traverse `data` in page-
+    /// sized runs; the source stays L1/L2-hot between the two passes, so
+    /// the cost over single-traversal cut-through is one extra warm read.
     pub fn write_with_crc(
         &self,
         offset: u64,
@@ -187,21 +187,16 @@ impl MemoryRegion {
     ) -> IwarpResult<()> {
         let off = self.check(offset, data.len())?;
         let mut state = pending.state();
+        state.update(data);
+        if state.finish() != pending.expected() {
+            return Err(IwarpError::CrcMismatch);
+        }
         // SAFETY: `off + data.len() <= len` was just checked; the buffer
         // lives as long as `self`; byte-wise copy tolerates racing readers
         // (see module-level safety model).
         unsafe {
             let base = (*self.inner.storage.get()).as_mut_ptr().add(off);
-            let mut done = 0usize;
-            while done < data.len() {
-                let n = (data.len() - done).min(4096);
-                std::ptr::copy_nonoverlapping(data.as_ptr().add(done), base.add(done), n);
-                state.update(&data[done..done + n]);
-                done += n;
-            }
-        }
-        if state.finish() != pending.expected() {
-            return Err(IwarpError::CrcMismatch);
+            std::ptr::copy_nonoverlapping(data.as_ptr(), base, data.len());
         }
         Ok(())
     }
@@ -487,12 +482,18 @@ mod tests {
         mr.write_with_crc(64, &p, &pending).unwrap();
         assert_eq!(mr.read_vec(64, payload.len()).unwrap(), payload);
 
-        // Corrupt payload: bytes land (cut-through) but the check fails.
+        // Corrupt payload: the check fails and — store-and-verify — the
+        // previously validated bytes are untouched.
         let mut bad = p.to_vec();
         bad[100] ^= 0x80;
         assert_eq!(
             mr.write_with_crc(64, &bad, &pending).unwrap_err(),
             IwarpError::CrcMismatch
+        );
+        assert_eq!(
+            mr.read_vec(64, payload.len()).unwrap(),
+            payload,
+            "failed CRC write must not clobber validated bytes"
         );
         // Out of bounds is refused before any byte moves.
         assert!(matches!(

@@ -283,9 +283,9 @@ fn encode_sg(hdr_bytes: &[u8], payload: &Bytes, pool: &BufPool) -> SgBytes {
 /// segment must hash to. The receive engine either resolves it up front
 /// ([`PendingCrc::verify`]) or fuses the payload's CRC pass with the
 /// mandatory placement copy
-/// ([`crate::buf::MemoryRegion::write_with_crc`]) — cut-through checking.
-/// Every consumer must resolve it one way or the other before trusting
-/// the segment.
+/// ([`crate::buf::MemoryRegion::write_with_crc`]), which settles the
+/// digest before placing any byte (store-and-verify). Every consumer
+/// must resolve it one way or the other before trusting the segment.
 #[derive(Clone, Copy, Debug)]
 pub struct PendingCrc {
     state: Crc32c,

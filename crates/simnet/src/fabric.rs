@@ -22,6 +22,7 @@ use iwarp_common::pool::BufPool;
 use iwarp_common::rng::small_rng;
 use iwarp_common::sg::SgBytes;
 
+use crate::chaos::{ChaosSnapshot, ChaosState, FaultEvent, FaultKind, FaultPlan};
 use crate::error::{NetError, NetResult};
 use crate::loss::LossState;
 use crate::wire::{Addr, NodeId, WireConfig, WirePacket, WIRE_HEADER_BYTES};
@@ -127,6 +128,9 @@ struct FabricInner {
     /// Multicast groups: group address → member endpoint addresses.
     groups: RwLock<HashMap<Addr, Vec<Addr>>>,
     loss: Mutex<(SmallRng, LossState)>,
+    /// Installed chaos adversary, if any. One mutex over all per-link
+    /// state keeps the fault trace order total and deterministic.
+    chaos: Mutex<Option<ChaosState>>,
     stats: FabricStats,
     next_ephemeral: AtomicU32,
     delay_seq: AtomicU64,
@@ -162,6 +166,7 @@ impl Fabric {
         tel.tel.attach_pool(pool.stats());
         let inner = Arc::new(FabricInner {
             loss: Mutex::new((small_rng(cfg.seed), LossState::default())),
+            chaos: Mutex::new(None),
             cfg,
             endpoints: RwLock::new(HashMap::new()),
             groups: RwLock::new(HashMap::new()),
@@ -230,6 +235,59 @@ impl Fabric {
         match &self.inner.delay_line {
             Some(dl) => dl.queue.lock().len(),
             None => 0,
+        }
+    }
+
+    /// Installs (or replaces) a chaos [`FaultPlan`]. Stages run after the
+    /// baseline loss model, before the delay line; every injected fault
+    /// is appended to the trace returned by [`fault_trace`]. With
+    /// duplication and reordering active, packet conservation becomes:
+    /// `tx_packets + duplicated == delivered + dropped_loss +
+    /// dropped_unreachable + chaos_swallowed + in_flight + chaos_held`.
+    ///
+    /// [`fault_trace`]: Fabric::fault_trace
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.chaos.lock() = Some(ChaosState::new(plan));
+    }
+
+    /// The injected-fault trace so far, in deterministic injection order.
+    /// Empty when no plan is installed.
+    #[must_use]
+    pub fn fault_trace(&self) -> Vec<FaultEvent> {
+        self.inner
+            .chaos
+            .lock()
+            .as_ref()
+            .map(ChaosState::trace)
+            .unwrap_or_default()
+    }
+
+    /// Injection totals for the installed plan, if any.
+    #[must_use]
+    pub fn chaos_stats(&self) -> Option<ChaosSnapshot> {
+        self.inner.chaos.lock().as_ref().map(|c| c.stats)
+    }
+
+    /// Packets currently held back by reorder stages.
+    #[must_use]
+    pub fn chaos_held(&self) -> u64 {
+        self.inner
+            .chaos
+            .lock()
+            .as_ref()
+            .map_or(0, ChaosState::held)
+    }
+
+    /// Releases every packet still held by reorder stages (delivering
+    /// them in deterministic link order). Call before checking packet
+    /// conservation or final protocol state.
+    pub fn chaos_flush(&self) {
+        let released = match &mut *self.inner.chaos.lock() {
+            Some(c) => c.drain_held(),
+            None => return,
+        };
+        for pkt in released {
+            self.forward(pkt);
         }
     }
 
@@ -378,15 +436,68 @@ impl Fabric {
             }
         }
 
+        // Chaos adversary stages (partition/drop/corrupt/truncate/
+        // duplicate/reorder), when a fault plan is installed.
+        let chaos_out = {
+            let mut guard = self.inner.chaos.lock();
+            match &mut *guard {
+                Some(chaos) => {
+                    let before = chaos.trace_len();
+                    let out = chaos.apply(pkt.clone());
+                    Some((out, chaos.trace_tail(before)))
+                }
+                None => None,
+            }
+        };
+        match chaos_out {
+            Some((out, injected)) => {
+                self.trace_faults(&injected);
+                for p in out.forward {
+                    self.forward(p);
+                }
+            }
+            None => self.forward(pkt),
+        }
+        Ok(())
+    }
+
+    /// The post-adversary tail of [`transmit`](Fabric::transmit): delay
+    /// line when latency is configured, synchronous delivery otherwise.
+    fn forward(&self, pkt: WirePacket) {
         if let Some(dl) = &self.inner.delay_line {
-            let due = Instant::now() + cfg.latency;
+            let due = Instant::now() + self.inner.cfg.latency;
             let seq = self.inner.delay_seq.fetch_add(1, Ordering::Relaxed);
             dl.queue.lock().push(DelayedPacket { due, seq, pkt });
             dl.cv.notify_one();
-            return Ok(());
+            return;
         }
         self.deliver(pkt);
-        Ok(())
+    }
+
+    /// Mirrors freshly injected faults into the telemetry tracer (for
+    /// forensic dumps) without perturbing the canonical fault trace.
+    fn trace_faults(&self, injected: &[FaultEvent]) {
+        let tel = &self.inner.tel;
+        if injected.is_empty() || !tel.tel.tracer().armed() {
+            return;
+        }
+        for f in injected {
+            let kind = match f.kind {
+                FaultKind::Drop => EventKind::ChaosDrop,
+                FaultKind::Partition => EventKind::Partition,
+                FaultKind::Duplicate => EventKind::Duplicate,
+                FaultKind::Reorder => EventKind::Reorder,
+                FaultKind::Corrupt => EventKind::Corrupt,
+                FaultKind::Truncate => EventKind::Truncate,
+            };
+            tel.tel.tracer().record(
+                tel.tel.now_nanos(),
+                endpoint_id(f.dst),
+                kind,
+                f.detail,
+                f.pkt,
+            );
+        }
     }
 
     fn deliver(&self, pkt: WirePacket) {

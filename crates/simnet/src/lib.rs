@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod dgram;
 pub mod error;
 pub mod fabric;
@@ -38,6 +39,7 @@ pub mod rdgram;
 pub mod stream;
 pub mod wire;
 
+pub use chaos::{ChaosSnapshot, FaultEvent, FaultKind, FaultPlan, PartitionWindow};
 pub use dgram::DgramConduit;
 pub use error::{NetError, NetResult};
 pub use fabric::Fabric;

@@ -119,7 +119,7 @@ impl LossState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iwarp_common::rng::small_rng;
+    use iwarp_common::rng::{small_rng, test_rng};
 
     #[test]
     fn none_never_drops() {
@@ -176,6 +176,51 @@ mod tests {
         // P(drop | previous drop) should be far above the 2% base rate.
         let cond = pairs as f64 / drops as f64;
         assert!(cond > 0.5, "conditional drop rate {cond}");
+    }
+
+    /// 10⁶-packet statistical audit of [`LossModel::bursty`]: the
+    /// empirical drop rate must land within ±10% of
+    /// [`LossModel::average_rate`], and the mean observed burst length
+    /// within ±15% of the requested mean (burst lengths are geometric
+    /// with mean `mean_burst` because the bad state always drops and
+    /// exits with probability `1/mean_burst`).
+    #[test]
+    fn bursty_million_packet_statistics() {
+        for (avg_rate, mean_burst, seed) in
+            [(0.01, 5.0, 0xB0A1u64), (0.05, 8.0, 0xB0A2), (0.02, 3.0, 0xB0A3)]
+        {
+            let model = LossModel::bursty(avg_rate, mean_burst);
+            assert!(
+                (model.average_rate() - avg_rate).abs() < 1e-9,
+                "closed-form average_rate off for avg={avg_rate}"
+            );
+            let mut rng = test_rng(seed);
+            let mut st = LossState::default();
+            let n = 1_000_000u32;
+            let mut drops = 0u64;
+            let mut bursts = 0u64;
+            let mut prev = false;
+            for _ in 0..n {
+                let d = st.should_drop(&model, &mut rng);
+                if d {
+                    drops += 1;
+                    if !prev {
+                        bursts += 1;
+                    }
+                }
+                prev = d;
+            }
+            let rate = drops as f64 / f64::from(n);
+            assert!(
+                (rate - avg_rate).abs() <= 0.10 * avg_rate,
+                "seed {seed:#x}: empirical rate {rate} vs nominal {avg_rate} (±10%)"
+            );
+            let mean = drops as f64 / bursts.max(1) as f64;
+            assert!(
+                (mean - mean_burst).abs() <= 0.15 * mean_burst,
+                "seed {seed:#x}: mean burst {mean} vs nominal {mean_burst} (±15%)"
+            );
+        }
     }
 
     #[test]

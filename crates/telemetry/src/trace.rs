@@ -57,6 +57,19 @@ pub enum EventKind {
     Placement,
     /// A completion queue entry was delivered.
     Cqe,
+    /// Dropped by an installed chaos fault plan (distinct from the
+    /// baseline loss model's `Drop`).
+    ChaosDrop,
+    /// An extra copy of the packet was injected by the fault plan.
+    Duplicate,
+    /// The packet was held back to be released out of order.
+    Reorder,
+    /// A single bit of the frame was flipped in flight.
+    Corrupt,
+    /// The frame was cut short in flight.
+    Truncate,
+    /// Dropped because the link was inside a partition window.
+    Partition,
 }
 
 /// One traced event. `a`/`b` are kind-specific details (lengths, message

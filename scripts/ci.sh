@@ -19,6 +19,18 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> seed audit: no entropy-seeded RNGs outside shims/"
+if grep -rn "from_entropy" crates src tests examples 2>/dev/null; then
+    echo "entropy-seeded RNG found: use iwarp_common::rng (seeded, reproducible)" >&2
+    exit 1
+fi
+
+echo "==> chaos smoke: 25 seeded adversarial plans, invariant-checked"
+# Deterministic: a failure prints the plan seed; reproduce it with
+#   cargo run --release -p iwarp-bench --bin chaos -- --replay <seed>
+# Nightly soak: cargo test --release --test chaos -- --include-ignored
+cargo run --release -p iwarp-bench --bin chaos -- --plans 25
+
 echo "==> bench smoke: copypath kernels run once (--test mode)"
 cargo bench -p iwarp-bench --bench copypath -- --test
 

@@ -14,12 +14,15 @@
 //! * [`sockets`] — the socket interface over UD/RC queue pairs;
 //! * [`apps`] — the media-streaming and SIP evaluation workloads;
 //! * [`telemetry`] — stack-wide counters, histograms, and packet tracing
-//!   (reach it from a running stack via `fabric.telemetry()`).
+//!   (reach it from a running stack via `fabric.telemetry()`);
+//! * [`chaos`] — the seeded fault adversary, cross-layer invariant
+//!   oracle, and replayable chaos harness (see `chaos --replay`).
 //!
 //! Start with `examples/quickstart.rs`, then see DESIGN.md for the system
 //! inventory and EXPERIMENTS.md for the figure-by-figure reproduction.
 
 pub use iwarp_apps as apps;
+pub use iwarp_chaos as chaos;
 pub use iwarp_common as common;
 pub use iwarp_socket as sockets;
 pub use iwarp as verbs;
