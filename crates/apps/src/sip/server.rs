@@ -15,9 +15,18 @@
 //! of the states of the calls" the paper identifies as the gap between its
 //! theoretical 28.1 % and measured 24.1 % memory savings.
 //!
-//! The server is a single-threaded event loop over poll-mode sockets, so
-//! thousands of concurrent calls cost memory (the thing Fig. 11 measures),
-//! not threads.
+//! The server is a single-threaded event loop, so thousands of concurrent
+//! calls cost memory (the thing Fig. 11 measures), not threads. On UD it
+//! has two drive modes, following the stack's
+//! [`NotifyPath`](iwarp_common::notifypath::NotifyPath):
+//!
+//! * **Poll** — the original loop: short-timeout receive on the main
+//!   socket, periodic O(active calls) scan of every call socket.
+//! * **Event** — the scale-out loop: all sockets subscribe to the stack's
+//!   completion channel and the server parks in
+//!   [`SocketStack::wait_ready`], touching only sockets with work. Idle
+//!   cost drops from a continuous scan to zero, and per-message cost from
+//!   O(calls) to O(ready).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -100,9 +109,18 @@ impl SipServer {
         let thread = match cfg.transport {
             SipTransport::Ud => {
                 let main = stack.dgram_bound(cfg.port)?;
+                let evented = stack.config().notify
+                    == iwarp_common::notifypath::NotifyPath::Event
+                    && !stack.config().qp.poll_mode;
                 std::thread::Builder::new()
                     .name("sip-uas-ud".into())
-                    .spawn(move || ud_event_loop(&stack, main, &cfg, &shared2))
+                    .spawn(move || {
+                        if evented {
+                            ud_event_loop_evented(&stack, &main, &cfg, &shared2)
+                        } else {
+                            ud_event_loop(&stack, main, &cfg, &shared2)
+                        }
+                    })
                     .expect("spawn SIP server")
             }
             SipTransport::Rc => {
@@ -185,23 +203,8 @@ fn ud_event_loop(
         passes_since_scan = 0;
         let mut finished = Vec::new();
         for (call_id, call) in &mut calls {
-            while let Some((n, src)) = call.sock.try_recv_from(&mut buf)? {
-                let Ok(msg) = SipMessage::parse(&buf[..n]) else {
-                    shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                };
-                match msg.method() {
-                    Some(SipMethod::Ack) => {
-                        shared.stats.acks.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Some(SipMethod::Bye) => {
-                        let ok = SipMessage::response_to(&msg, 200, "OK");
-                        call.sock.send_to(&ok.encode(), src)?;
-                        shared.stats.byes.fetch_add(1, Ordering::Relaxed);
-                        finished.push(call_id.clone());
-                    }
-                    _ => {}
-                }
+            if drain_call_socket(call, shared, &mut buf)? {
+                finished.push(call_id.clone());
             }
         }
         for call_id in finished {
@@ -212,6 +215,81 @@ fn ud_event_loop(
     Ok(())
 }
 
+/// The evented UD loop: parks in [`SocketStack::wait_ready`] and serves
+/// exactly the sockets whose receive CQs signalled (main and per-call
+/// sockets all subscribe to the stack channel with their fd as token).
+/// Per the channel's edge-triggered contract, each ready socket is drained
+/// completely before the next wait.
+fn ud_event_loop_evented(
+    stack: &SocketStack,
+    main: &DgramSocket,
+    cfg: &SipServerConfig,
+    shared: &Shared,
+) -> IwarpResult<()> {
+    let mut calls: HashMap<String, UdCall> = HashMap::new();
+    let mut fd_to_call: HashMap<u32, String> = HashMap::new();
+    let main_fd = main.fd();
+    let mut buf = vec![0u8; 8 * 1024];
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        // Bounded wait so shutdown is noticed even on a dead-quiet fabric.
+        for fd in stack.wait_ready(Duration::from_millis(20)) {
+            if fd == main_fd {
+                while let Some((n, src)) = main.try_recv_from(&mut buf)? {
+                    if let Ok(msg) = SipMessage::parse(&buf[..n]) {
+                        if let Some((call_id, call_fd)) =
+                            handle_ud_message(stack, cfg, shared, &mut calls, main, &msg, src)?
+                        {
+                            fd_to_call.insert(call_fd, call_id);
+                        }
+                    } else {
+                        shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            } else if let Some(call_id) = fd_to_call.get(&fd).cloned() {
+                let call = calls.get_mut(&call_id).expect("fd map in sync");
+                if drain_call_socket(call, shared, &mut buf)? {
+                    calls.remove(&call_id);
+                    fd_to_call.remove(&fd);
+                    shared.stats.active_calls.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            // Unknown fd: completion raced a call teardown; ignore.
+        }
+    }
+    Ok(())
+}
+
+/// Serves everything pending on one call socket. Returns `true` when the
+/// dialog ended (BYE answered) and the call should be dropped.
+fn drain_call_socket(
+    call: &mut UdCall,
+    shared: &Shared,
+    buf: &mut [u8],
+) -> IwarpResult<bool> {
+    let mut done = false;
+    while let Some((n, src)) = call.sock.try_recv_from(buf)? {
+        let Ok(msg) = SipMessage::parse(&buf[..n]) else {
+            shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        match msg.method() {
+            Some(SipMethod::Ack) => {
+                shared.stats.acks.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(SipMethod::Bye) => {
+                let ok = SipMessage::response_to(&msg, 200, "OK");
+                call.sock.send_to(&ok.encode(), src)?;
+                shared.stats.byes.fetch_add(1, Ordering::Relaxed);
+                done = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(done)
+}
+
+/// Handles one message on the main socket. Returns the `(call_id, fd)` of
+/// a newly established call so the evented loop can index it.
 fn handle_ud_message(
     stack: &SocketStack,
     cfg: &SipServerConfig,
@@ -220,20 +298,22 @@ fn handle_ud_message(
     main: &DgramSocket,
     msg: &SipMessage,
     src: Addr,
-) -> IwarpResult<()> {
+) -> IwarpResult<Option<(String, u32)>> {
     match msg.method() {
         Some(SipMethod::Invite) => {
             let Some(call_id) = msg.call_id() else {
                 shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
+                return Ok(None);
             };
             if calls.contains_key(call_id) {
-                return Ok(()); // retransmitted INVITE; 200 OK was sent
+                return Ok(None); // retransmitted INVITE; 200 OK was sent
             }
             // Paper setup: one server socket per client/call. The 200 OK
             // is sent *from* the call socket so in-dialog requests land
-            // there.
+            // there. (In Event mode the new socket subscribes itself to
+            // the stack channel at open.)
             let call_sock = stack.dgram()?;
+            let fd = call_sock.fd();
             let ok = SipMessage::response_to(msg, 200, "OK")
                 .with_header("Contact", &format!("<sip:{}>", call_sock.local_addr()));
             call_sock.send_to(&ok.encode(), src)?;
@@ -250,6 +330,7 @@ fn handle_ud_message(
             );
             shared.stats.invites.fetch_add(1, Ordering::Relaxed);
             shared.stats.active_calls.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some((call_id.to_owned(), fd)));
         }
         Some(SipMethod::Options) => {
             let ok = SipMessage::response_to(msg, 200, "OK");
@@ -257,7 +338,7 @@ fn handle_ud_message(
         }
         _ => {}
     }
-    Ok(())
+    Ok(None)
 }
 
 /// One RC call: the accepted connection, a reassembly buffer for the byte

@@ -24,10 +24,15 @@
 //! * [`copypath`] — the process-wide default for which datapath
 //!   ([`copypath::CopyPath::Sg`] or [`copypath::CopyPath::Legacy`]) newly
 //!   created QPs use, so benches can A/B the two.
+//! * [`notifypath`] — the analogous default for how completion consumers
+//!   wait ([`notifypath::NotifyPath::Event`] parks on a completion
+//!   channel; [`notifypath::NotifyPath::Poll`] spin-polls), so the
+//!   scale-out harness can A/B the two.
 
 #![warn(missing_docs)]
 
 pub mod copypath;
+pub mod notifypath;
 pub mod crc32;
 pub mod memacct;
 pub mod pool;

@@ -1,0 +1,88 @@
+//! Process-wide default for how completion consumers wait.
+//!
+//! The scale-out work adds event-driven completions (a condvar-backed
+//! `CompletionChannel` with `wait_any` multiplexing) while keeping
+//! spin-polling alive as the A/B baseline — the same pattern as
+//! [`crate::copypath`] for the datapath. The selection itself is a
+//! per-socket/bench configuration knob; this module only stores the
+//! *default* those configs pick up at construction time, so tests can
+//! still pin a strategy explicitly without racing on global state.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How a completion consumer learns that work is ready.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NotifyPath {
+    /// Busy-poll: spin on non-blocking CQ polls. Lowest latency, burns a
+    /// core per waiter. Kept as the reference baseline.
+    Poll,
+    /// Event-driven: park on a completion channel and be woken on push —
+    /// one thread can multiplex thousands of CQs (`wait_any`, the epoll
+    /// analogue). The default.
+    Event,
+}
+
+impl NotifyPath {
+    /// Parses the `--notify` CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "poll" => Some(Self::Poll),
+            "event" => Some(Self::Event),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Poll => "poll",
+            Self::Event => "event",
+        }
+    }
+}
+
+impl std::fmt::Display for NotifyPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+static DEFAULT: AtomicU8 = AtomicU8::new(1); // 1 = Event
+
+/// Sets the process-wide default strategy picked up by socket/bench
+/// configs at construction time (e.g. from `scale --notify=poll`).
+pub fn set_default(path: NotifyPath) {
+    DEFAULT.store(
+        match path {
+            NotifyPath::Poll => 0,
+            NotifyPath::Event => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-wide default strategy.
+#[must_use]
+pub fn default_path() -> NotifyPath {
+    if DEFAULT.load(Ordering::Relaxed) == 0 {
+        NotifyPath::Poll
+    } else {
+        NotifyPath::Event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(NotifyPath::parse("poll"), Some(NotifyPath::Poll));
+        assert_eq!(NotifyPath::parse("event"), Some(NotifyPath::Event));
+        assert_eq!(NotifyPath::parse("spin"), None);
+        assert_eq!(NotifyPath::Event.as_str(), "event");
+        assert_eq!(NotifyPath::Poll.to_string(), "poll");
+    }
+}

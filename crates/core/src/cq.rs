@@ -21,6 +21,7 @@ use iwarp_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use simnet::Addr;
 
+use crate::chan::CompletionChannel;
 use crate::error::{IwarpError, IwarpResult};
 use crate::wr_record::WriteRecordInfo;
 
@@ -120,6 +121,9 @@ struct CqInner {
     capacity: usize,
     overflows: AtomicU64,
     tel: OnceLock<CqTel>,
+    /// Event subscription: every push notifies the channel under the
+    /// token (see [`Cq::attach_channel`]).
+    chan: Mutex<Option<(CompletionChannel, u64)>>,
 }
 
 /// A completion queue. Clones share the same queue.
@@ -141,6 +145,7 @@ impl Cq {
                 capacity: capacity.max(1),
                 overflows: AtomicU64::new(0),
                 tel: OnceLock::new(),
+                chan: Mutex::new(None),
             }),
         }
     }
@@ -195,6 +200,30 @@ impl Cq {
             self.inner.solicited_seq.fetch_add(1, Ordering::Relaxed);
             self.inner.solicited_cv.notify_all();
         }
+        // Event subscription last, after the CQE is visible to poll():
+        // a waiter woken by the channel must find the entry.
+        let sub = self.inner.chan.lock().clone();
+        if let Some((chan, token)) = sub {
+            chan.notify(token);
+        }
+    }
+
+    /// Subscribes this CQ to a [`CompletionChannel`] under `token`:
+    /// every subsequent push notifies the channel, waking
+    /// [`CompletionChannel::wait_any`] waiters. If completions are
+    /// *already* queued the channel is notified immediately, so a
+    /// subscriber that attaches after a burst cannot miss it. Replaces
+    /// any previous subscription; `detach_channel` removes it.
+    pub fn attach_channel(&self, chan: &CompletionChannel, token: u64) {
+        *self.inner.chan.lock() = Some((chan.clone(), token));
+        if !self.is_empty() {
+            chan.notify(token);
+        }
+    }
+
+    /// Removes the channel subscription, if any.
+    pub fn detach_channel(&self) {
+        *self.inner.chan.lock() = None;
     }
 
     /// Blocks until a *solicited* completion has been enqueued since this

@@ -15,6 +15,7 @@ use crate::error::IwarpResult;
 use crate::mpa::MpaConfig;
 use crate::qp::dgram::DgLlp;
 use crate::qp::{DatagramQp, QpConfig, RcListener, RcQp};
+use crate::shard::{ShardConfig, ShardMap};
 
 /// Device-wide configuration.
 #[derive(Clone, Debug)]
@@ -29,6 +30,10 @@ pub struct DeviceConfig {
     /// Memory registry: when set, per-QP and per-connection state is
     /// accounted here (drives the paper's Fig. 11 experiment).
     pub mem: Option<MemRegistry>,
+    /// Shard-pool settings: with `shard.shards > 0`, threaded-mode UD QPs
+    /// on this device are drained by a fixed pool of shard RX engines
+    /// instead of one thread each (see [`crate::shard`]).
+    pub shard: ShardConfig,
 }
 
 
@@ -39,6 +44,7 @@ pub struct Device {
     mrs: Arc<MrTable>,
     next_qpn: Arc<AtomicU32>,
     cfg: DeviceConfig,
+    shards: Option<Arc<ShardMap>>,
 }
 
 impl Device {
@@ -60,13 +66,29 @@ impl Device {
         if let Some(reg) = &cfg.mem {
             fabric.telemetry().attach_mem(reg.clone());
         }
+        let shards = (cfg.shard.shards > 0)
+            .then(|| ShardMap::new(cfg.shard.clone(), fabric.telemetry()));
         Self {
             fabric: fabric.clone(),
             node,
             mrs: Arc::new(MrTable::new()),
             next_qpn: Arc::new(AtomicU32::new(1)),
             cfg,
+            shards,
         }
+    }
+
+    /// True when this device runs a shard pool (see
+    /// [`DeviceConfig::shard`]).
+    #[must_use]
+    pub fn sharded(&self) -> bool {
+        self.shards.is_some()
+    }
+
+    /// The device's shard map, when sharding is enabled.
+    #[must_use]
+    pub fn shard_map(&self) -> Option<&Arc<ShardMap>> {
+        self.shards.as_ref()
     }
 
     /// The fabric node this device lives on.
@@ -170,6 +192,7 @@ impl Device {
             cfg,
             mem,
             self.fabric.telemetry(),
+            self.shards.as_ref(),
         )
     }
 

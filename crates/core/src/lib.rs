@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod buf;
+pub mod chan;
 pub mod cm;
 pub mod cq;
 pub mod device;
@@ -45,12 +46,15 @@ pub mod error;
 pub mod hdr;
 pub mod mpa;
 pub mod qp;
+pub mod shard;
 pub mod wr;
 pub mod wr_record;
 
 pub use buf::{Access, MemoryRegion, MrTable};
+pub use chan::CompletionChannel;
 pub use cq::{Cq, Cqe, CqeOpcode, CqeStatus};
 pub use device::{Device, DeviceConfig};
+pub use shard::{ShardConfig, ShardMap};
 pub use error::{IwarpError, IwarpResult};
 pub use qp::{QpConfig, RcListener, RcQp, RdQp, UdQp};
 pub use wr::UdDest;

@@ -89,6 +89,31 @@ impl DgLlp {
         }
     }
 
+    /// Non-blocking receive: drains already-delivered wire packets only.
+    /// The shard engines' batch-drain primitive.
+    fn try_recv_sg(&self) -> Result<(Addr, SgBytes), NetError> {
+        match self {
+            DgLlp::Ud(c) => c.try_recv_sg_from(),
+            DgLlp::Rd(c) => c
+                .recv_from(Some(Duration::ZERO))
+                .map(|(src, b)| (src, SgBytes::from(b))),
+        }
+    }
+
+    /// Installs an arrival notifier on the conduit's wire endpoint.
+    /// Returns `false` when the LLP has no notify hook (RD's windowed
+    /// protocol needs its own engine thread); such QPs cannot be driven
+    /// by a shard engine.
+    fn set_notify(&self, notify: Option<simnet::RxNotify>) -> bool {
+        match self {
+            DgLlp::Ud(c) => {
+                c.set_notify(notify);
+                true
+            }
+            DgLlp::Rd(_) => false,
+        }
+    }
+
     fn pool(&self) -> BufPool {
         match self {
             DgLlp::Ud(c) => c.fabric().pool().clone(),
@@ -139,7 +164,7 @@ impl QpTxTel {
     }
 }
 
-struct DgInner {
+pub(crate) struct DgInner {
     qpn: u32,
     llp: DgLlp,
     send_cq: Cq,
@@ -157,6 +182,17 @@ struct DgInner {
     _mem: Option<MemScope>,
 }
 
+impl DgInner {
+    pub(crate) fn qpn(&self) -> u32 {
+        self.qpn
+    }
+
+    /// See [`DgLlp::set_notify`].
+    pub(crate) fn set_notify(&self, notify: Option<simnet::RxNotify>) -> bool {
+        self.llp.set_notify(notify)
+    }
+}
+
 /// A datagram-iWARP queue pair (UD or RD mode).
 ///
 /// Created through [`crate::device::Device`]; see the crate root for the
@@ -164,6 +200,9 @@ struct DgInner {
 pub struct DatagramQp {
     inner: Arc<DgInner>,
     rx_thread: Option<std::thread::JoinHandle<()>>,
+    /// Set when a shard engine drives this QP's receives (no `rx_thread`);
+    /// held so Drop can unregister from the shard map.
+    shard: Option<(Arc<crate::shard::ShardMap>, u32)>,
 }
 
 impl DatagramQp {
@@ -177,6 +216,7 @@ impl DatagramQp {
         cfg: QpConfig,
         mem: Option<MemScope>,
         tel: &Telemetry,
+        shards: Option<&Arc<crate::shard::ShardMap>>,
     ) -> Self {
         let max_msg_size = cfg.max_msg_size;
         let copy_path = cfg.copy_path;
@@ -199,7 +239,18 @@ impl DatagramQp {
             shutdown: AtomicBool::new(false),
             _mem: mem,
         });
-        let rx_thread = if inner.rx.cfg.poll_mode {
+        // Poll mode always wins (caller-driven, deterministic — chaos
+        // replay depends on it). Otherwise prefer a shard engine when the
+        // device has one and the LLP supports arrival notification; fall
+        // back to the dedicated per-QP thread (RD, or unsharded devices).
+        let shard = if inner.rx.cfg.poll_mode {
+            None
+        } else {
+            shards
+                .filter(|map| map.register(&inner))
+                .map(|map| (Arc::clone(map), qpn))
+        };
+        let rx_thread = if inner.rx.cfg.poll_mode || shard.is_some() {
             None
         } else {
             let rx_inner = Arc::clone(&inner);
@@ -210,7 +261,14 @@ impl DatagramQp {
                     .expect("spawn datagram QP rx thread"),
             )
         };
-        Self { inner, rx_thread }
+        Self { inner, rx_thread, shard }
+    }
+
+    /// True when a device shard engine (not a per-QP thread or the
+    /// caller) drives this QP's receive processing.
+    #[must_use]
+    pub fn is_sharded(&self) -> bool {
+        self.shard.is_some()
     }
 
     /// Poll-mode driver: one receive-engine iteration, waiting up to
@@ -633,6 +691,12 @@ impl std::fmt::Debug for DatagramQp {
 impl Drop for DatagramQp {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some((map, qpn)) = self.shard.take() {
+            // Silence the fabric notifier first so no new readiness is
+            // queued, then pull the QP out of its shard's inbox.
+            let _ = self.inner.llp.set_notify(None);
+            map.unregister(qpn);
+        }
         if let Some(t) = self.rx_thread.take() {
             let _ = t.join();
         }
@@ -658,26 +722,62 @@ fn rx_loop(inner: &DgInner) {
 /// CRC check deferred ([`decode_sg`]) so the engine can fuse it with the
 /// placement copy instead of flattening here.
 fn rx_step(inner: &DgInner, max_wait: Duration) {
-    let with_crc = true; // mandatory on the datagram path (paper §IV.B.6)
     match inner.llp.recv_sg(max_wait) {
-        Ok((src, dgram)) => match decode_sg(&dgram, with_crc) {
-            Ok((seg, pending)) => {
-                if let Some(action) = inner.rx.handle_deferred(src, seg, pending) {
-                    respond(inner, action);
-                }
-            }
-            Err(IwarpError::CrcMismatch) => {
-                inner.rx.stats.crc_errors.fetch_add(1, Ordering::Relaxed);
-                inner.rx.note_crc_error();
-            }
-            Err(_) => {
-                inner.rx.stats.malformed.fetch_add(1, Ordering::Relaxed);
-                inner.rx.note_malformed();
-            }
-        },
+        Ok((src, dgram)) => rx_dispatch(inner, src, &dgram),
         Err(NetError::Timeout) => {}
         Err(_) => return,
     }
+    inner.rx.expire();
+}
+
+/// Decodes and places one received datagram — the per-message half of
+/// [`rx_step`], shared with the shard engines' batch drain.
+fn rx_dispatch(inner: &DgInner, src: Addr, dgram: &SgBytes) {
+    let with_crc = true; // mandatory on the datagram path (paper §IV.B.6)
+    match decode_sg(dgram, with_crc) {
+        Ok((seg, pending)) => {
+            if let Some(action) = inner.rx.handle_deferred(src, seg, pending) {
+                respond(inner, action);
+            }
+        }
+        Err(IwarpError::CrcMismatch) => {
+            inner.rx.stats.crc_errors.fetch_add(1, Ordering::Relaxed);
+            inner.rx.note_crc_error();
+        }
+        Err(_) => {
+            inner.rx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            inner.rx.note_malformed();
+        }
+    }
+}
+
+/// Shard-engine drain: processes up to `budget` already-delivered
+/// datagrams without blocking, then runs the (self-throttled) expiry
+/// sweep. Returns `true` when the budget was exhausted — more datagrams
+/// may be pending and the caller should re-queue this QP (fairness:
+/// a flooding QP must not starve its shard siblings).
+pub(crate) fn rx_drain(inner: &DgInner, budget: usize) -> bool {
+    for _ in 0..budget {
+        match inner.llp.try_recv_sg() {
+            Ok((src, dgram)) => rx_dispatch(inner, src, &dgram),
+            Err(NetError::Timeout) => {
+                inner.rx.expire();
+                return false;
+            }
+            Err(_) => return false,
+        }
+    }
+    inner.rx.expire();
+    true
+}
+
+/// Runs one TTL-expiry sweep (self-throttled inside [`RxCore::expire`]).
+/// Shard workers call this for *idle* QPs on their housekeeping tick so
+/// a partially received message still expires into an `Expired` CQE when
+/// its peer goes quiet.
+///
+/// [`RxCore::expire`]: crate::qp::rx::RxCore::expire
+pub(crate) fn expire_tick(inner: &DgInner) {
     inner.rx.expire();
 }
 

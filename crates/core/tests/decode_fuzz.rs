@@ -1,0 +1,174 @@
+//! Decode-robustness fuzzing: arbitrary and truncated byte soup thrown at
+//! every wire-format decoder. The decoders guard the trust boundary — a
+//! sharded RX engine feeds them whatever the fabric delivers — so they
+//! must classify garbage as an error, never panic, never over-read.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use iwarp::hdr::{decode, decode_sg, encode_untagged, RdmapOpcode, ReadRequest, UntaggedHdr};
+use iwarp_common::sg::SgBytes;
+
+/// Splits `raw` into an SgBytes at the given fractional cut points so the
+/// scatter-gather decoder sees headers straddling part boundaries.
+fn split_sg(raw: &[u8], cuts: &[usize]) -> SgBytes {
+    let mut sg = SgBytes::new();
+    let mut prev = 0usize;
+    let mut sorted: Vec<usize> = cuts.iter().map(|&c| c % (raw.len() + 1)).collect();
+    sorted.sort_unstable();
+    for cut in sorted {
+        if cut > prev {
+            sg.push(Bytes::copy_from_slice(&raw[prev..cut]));
+            prev = cut;
+        }
+    }
+    if prev < raw.len() {
+        sg.push(Bytes::copy_from_slice(&raw[prev..]));
+    }
+    sg
+}
+
+fn sample_untagged(total_len: u32, mo: u32) -> UntaggedHdr {
+    UntaggedHdr {
+        opcode: RdmapOpcode::Send,
+        last: true,
+        qn: 0,
+        msn: 7,
+        mo,
+        total_len,
+        src_qpn: 42,
+        msg_id: 0xDEAD_BEEF,
+        solicited: false,
+    }
+}
+
+proptest! {
+    /// Raw garbage into the contiguous decoder: Ok or Err, never a panic.
+    #[test]
+    fn decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..512),
+                           with_crc in any::<bool>()) {
+        let _ = decode(&Bytes::from(raw), with_crc);
+    }
+
+    /// Same garbage through the scatter-gather decoder with arbitrary
+    /// part splits, including parts that straddle the header.
+    #[test]
+    fn decode_sg_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..512),
+                              cuts in proptest::collection::vec(any::<usize>(), 0..6),
+                              with_crc in any::<bool>()) {
+        let sg = split_sg(&raw, &cuts);
+        let _ = decode_sg(&sg, with_crc);
+    }
+
+    /// Read-request control messages are a distinct format with its own
+    /// decoder; garbage in must classify, not panic.
+    #[test]
+    fn read_request_decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = ReadRequest::decode(&raw);
+    }
+
+    /// Every proper prefix of a valid CRC-protected segment must be
+    /// caught: `decode` rejects it eagerly; `decode_sg` either rejects it
+    /// or hands back a deferred CRC that fails verification. No prefix
+    /// may panic or pass as intact.
+    #[test]
+    fn truncated_segment_with_crc_is_caught(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let hdr = sample_untagged(payload.len() as u32, 0);
+        let wire = encode_untagged(&hdr, &payload, true);
+        for cut in 0..wire.len() {
+            let truncated = wire.slice(0..cut);
+            prop_assert!(decode(&truncated, true).is_err(),
+                         "prefix of {} bytes (cut at {cut}) decoded successfully", wire.len());
+            match decode_sg(&split_sg(&truncated, &[cut / 2]), true) {
+                Err(_) => {}
+                Ok((seg, Some(pending))) => prop_assert!(!pending.verify(seg.payload()),
+                    "sg prefix (cut at {cut}) passed its deferred CRC"),
+                Ok((_, None)) => prop_assert!(false,
+                    "sg prefix (cut at {cut}) accepted without any CRC check"),
+            }
+        }
+    }
+
+    /// Without a CRC, truncating the payload is wire-indistinguishable
+    /// from a shorter datagram — but the decoders must still never panic,
+    /// must reject header truncation, and must preserve `total_len` so
+    /// reassembly can detect the shortfall.
+    #[test]
+    fn truncated_segment_without_crc_never_panics(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let hdr = sample_untagged(payload.len() as u32, 0);
+        let wire = encode_untagged(&hdr, &payload, false);
+        for cut in 0..wire.len() {
+            let truncated = wire.slice(0..cut);
+            match decode(&truncated, false) {
+                Err(_) => prop_assert!(cut < wire.len(), "full segment rejected"),
+                Ok(seg) => {
+                    prop_assert!(cut >= iwarp::hdr::UNTAGGED_HDR_LEN,
+                                 "decoded from less than a header");
+                    match &seg {
+                        iwarp::hdr::DdpSegment::Untagged { hdr: h, payload: p } => {
+                            prop_assert_eq!(h.total_len as usize, payload.len(),
+                                            "total_len corrupted by truncation");
+                            prop_assert!(p.len() < payload.len() || cut == wire.len(),
+                                         "truncated decode returned full payload");
+                        }
+                        iwarp::hdr::DdpSegment::Tagged { .. } =>
+                            prop_assert!(false, "untagged wire decoded as tagged"),
+                    }
+                }
+            }
+            let _ = decode_sg(&split_sg(&truncated, &[cut / 2]), false);
+        }
+    }
+
+    /// A single flipped bit in a CRC-protected segment must surface as an
+    /// error (almost always `CrcMismatch`), never as silent corruption of
+    /// the decode path itself.
+    #[test]
+    fn bitflip_with_crc_never_panics(payload in proptest::collection::vec(any::<u8>(), 1..128),
+                                     byte_idx in any::<usize>(), bit in 0u8..8) {
+        let hdr = sample_untagged(payload.len() as u32, 0);
+        let wire = encode_untagged(&hdr, &payload, true);
+        let mut bytes = wire.to_vec();
+        let idx = byte_idx % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // Flips in the length field can make the buffer "short"; flips in
+        // payload/CRC must be caught by CRC. Either way: classified.
+        let _ = decode(&Bytes::from(bytes.clone()), true);
+        let _ = decode_sg(&SgBytes::from(Bytes::from(bytes)), true);
+    }
+
+    /// Contiguous and scatter-gather decoders must agree on every input:
+    /// same success payload or both reject.
+    #[test]
+    fn decode_and_decode_sg_agree(raw in proptest::collection::vec(any::<u8>(), 0..512),
+                                  cuts in proptest::collection::vec(any::<usize>(), 0..4),
+                                  with_crc in any::<bool>()) {
+        let flat = Bytes::from(raw.clone());
+        let contiguous = decode(&flat, with_crc);
+        let sg_res = decode_sg(&split_sg(&raw, &cuts), with_crc);
+        match (contiguous, sg_res) {
+            (Ok(a), Ok((b, pending))) => {
+                // decode_sg defers payload CRC; verify it to match decode's
+                // eager check before comparing.
+                if let Some(p) = &pending {
+                    prop_assert!(p.verify(b.payload()), "sg accepted a payload decode's CRC rejected");
+                }
+                prop_assert_eq!(a.payload(), b.payload());
+            }
+            (Err(_), Err(_)) => {}
+            (Ok(a), Err(e)) => {
+                prop_assert!(false, "decode ok ({} payload bytes) but decode_sg err: {e:?}",
+                             a.payload().len());
+            }
+            (Err(e), Ok((seg, pending))) => {
+                // The only sanctioned asymmetry: decode checks CRC eagerly,
+                // decode_sg defers it. The deferred check must then fail.
+                match pending {
+                    Some(p) => prop_assert!(!p.verify(seg.payload()),
+                        "decode err ({e:?}) but decode_sg fully accepted"),
+                    None => prop_assert!(false, "decode err ({e:?}) but decode_sg ok with no pending CRC"),
+                }
+            }
+        }
+    }
+}

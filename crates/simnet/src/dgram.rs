@@ -441,6 +441,15 @@ impl DgramConduit {
         self.reasm.lock().partials.len()
     }
 
+    /// Installs (or clears) an arrival notifier on the underlying wire
+    /// endpoint: the callback fires once per delivered wire packet (i.e.
+    /// per fragment, not per reassembled datagram). Batch consumers use
+    /// it to mark this conduit ready and then drain with
+    /// [`try_recv_sg_from`](Self::try_recv_sg_from).
+    pub fn set_notify(&self, notify: Option<crate::fabric::RxNotify>) {
+        self.ep.set_notify(notify);
+    }
+
     /// Subscribes this conduit to a multicast group: datagrams sent to the
     /// group address are received here like unicast ones (each member
     /// reassembles fragments independently).

@@ -122,9 +122,24 @@ fn endpoint_id(addr: Addr) -> EndpointId {
     EndpointId::new(addr.node.0, addr.port)
 }
 
+/// Callback invoked (outside fabric locks) after a packet lands in an
+/// endpoint's receive queue. Installed by batch consumers — the shard RX
+/// engines — to mark the endpoint ready in their inbox instead of having a
+/// thread parked on every queue. The callback must be cheap and must not
+/// call back into the fabric (lock order: `fabric.endpoints` is released
+/// before it runs, but `transmit` may still be on the caller's stack).
+pub type RxNotify = Arc<dyn Fn(Addr) + Send + Sync>;
+
+/// One bound endpoint as the switch sees it: its receive queue plus the
+/// optional arrival notifier.
+struct EndpointSlot {
+    tx: Sender<WirePacket>,
+    notify: Option<RxNotify>,
+}
+
 struct FabricInner {
     cfg: WireConfig,
-    endpoints: RwLock<HashMap<Addr, Sender<WirePacket>>>,
+    endpoints: RwLock<HashMap<Addr, EndpointSlot>>,
     /// Multicast groups: group address → member endpoint addresses.
     groups: RwLock<HashMap<Addr, Vec<Addr>>>,
     loss: Mutex<(SmallRng, LossState)>,
@@ -300,7 +315,7 @@ impl Fabric {
             if eps.contains_key(&addr) {
                 return Err(NetError::AddrInUse(addr));
             }
-            eps.insert(addr, tx);
+            eps.insert(addr, EndpointSlot { tx, notify: None });
         }
         Ok(Endpoint {
             fabric: self.clone(),
@@ -326,6 +341,20 @@ impl Fabric {
     #[must_use]
     pub fn is_bound(&self, addr: Addr) -> bool {
         self.inner.endpoints.read().contains_key(&addr)
+    }
+
+    /// Installs (or clears, with `None`) the arrival notifier for the
+    /// endpoint bound at `addr`. Returns `false` when nothing is bound
+    /// there. The callback fires after each delivered packet, outside
+    /// every fabric lock; see [`RxNotify`] for its constraints.
+    pub fn set_notify(&self, addr: Addr, notify: Option<RxNotify>) -> bool {
+        match self.inner.endpoints.write().get_mut(&addr) {
+            Some(slot) => {
+                slot.notify = notify;
+                true
+            }
+            None => false,
+        }
     }
 
     fn unbind(&self, addr: Addr) {
@@ -511,12 +540,20 @@ impl Fabric {
                 .get(&pkt.dst)
                 .cloned()
                 .unwrap_or_default();
-            let eps = self.inner.endpoints.read();
+            // Notifiers run after the endpoints lock is released so a
+            // callback can never deadlock against bind/unbind.
+            let mut wake: Vec<(Addr, RxNotify)> = Vec::new();
             let mut any = false;
-            for m in members {
-                if let Some(tx) = eps.get(&m) {
-                    if tx.send(pkt.clone()).is_ok() {
-                        any = true;
+            {
+                let eps = self.inner.endpoints.read();
+                for m in members {
+                    if let Some(slot) = eps.get(&m) {
+                        if slot.tx.send(pkt.clone()).is_ok() {
+                            any = true;
+                            if let Some(n) = &slot.notify {
+                                wake.push((m, Arc::clone(n)));
+                            }
+                        }
                     }
                 }
             }
@@ -526,18 +563,27 @@ impl Fabric {
             } else {
                 self.count_unreachable(&pkt);
             }
+            for (addr, n) in wake {
+                n(addr);
+            }
             return;
         }
-        let delivered = {
+        let (delivered, wake) = {
             let eps = self.inner.endpoints.read();
             match eps.get(&pkt.dst) {
-                Some(tx) => tx.send(pkt.clone()).is_ok(),
-                None => false,
+                Some(slot) => (
+                    slot.tx.send(pkt.clone()).is_ok(),
+                    slot.notify.as_ref().map(Arc::clone),
+                ),
+                None => (false, None),
             }
         };
         if delivered {
             self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
             self.trace_rx(&pkt);
+            if let Some(n) = wake {
+                n(pkt.dst);
+            }
         } else {
             self.count_unreachable(&pkt);
         }
@@ -719,6 +765,12 @@ impl Endpoint {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.rx.len()
+    }
+
+    /// Installs (or clears) this endpoint's arrival notifier; see
+    /// [`Fabric::set_notify`].
+    pub fn set_notify(&self, notify: Option<RxNotify>) {
+        self.fabric.set_notify(self.addr, notify);
     }
 
     /// Subscribes this endpoint to a multicast `group`.

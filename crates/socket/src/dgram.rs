@@ -147,6 +147,15 @@ impl DgramSocket {
             ),
         };
         let fd = stack.alloc_fd(FdKind::Dgram);
+        // Event path: receive completions mark this socket's fd ready on
+        // the stack channel, so one thread can wait_ready() across every
+        // socket. Poll-mode QPs stay unsubscribed — their CQs only fill
+        // when the caller pumps, so a parked waiter would never wake.
+        if stack.cfg.notify == iwarp_common::notifypath::NotifyPath::Event
+            && !stack.cfg.qp.poll_mode
+        {
+            recv_cq.attach_channel(&stack.chan, u64::from(fd));
+        }
         let buffer_bytes =
             (slot_mr.len() + ring_mr.as_ref().map_or(0, iwarp::MemoryRegion::len)) as u64;
         let mem = stack
@@ -198,6 +207,13 @@ impl DgramSocket {
     #[must_use]
     pub fn stats(&self) -> DgramSocketStats {
         self.inner.state.lock().stats
+    }
+
+    /// Re-subscribes this socket's receive CQ to `chan` under `token`,
+    /// replacing the stack-default subscription — for event loops that
+    /// partition sockets across several channels (one per worker).
+    pub fn subscribe(&self, chan: &iwarp::CompletionChannel, token: u64) {
+        self.inner.recv_cq.attach_channel(chan, token);
     }
 
     /// Joins a multicast group (UD sockets only): datagrams sent to the

@@ -13,7 +13,8 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use simnet::{Addr, Fabric, NodeId};
 
-use iwarp::{Device, DeviceConfig, IwarpResult, QpConfig};
+use iwarp::{CompletionChannel, Device, DeviceConfig, IwarpResult, QpConfig};
+use iwarp_common::notifypath::{self, NotifyPath};
 
 use crate::dgram::{DgramMode, DgramSocket};
 use crate::stream::{StreamListener, StreamSocket};
@@ -35,6 +36,14 @@ pub struct SocketConfig {
     /// How long a Write-Record sender waits for a ring advertisement
     /// before falling back to send/recv.
     pub adv_timeout: Duration,
+    /// Completion-notification path: `Event` subscribes every datagram
+    /// socket's receive CQ to the stack's [`CompletionChannel`] (token =
+    /// fd) so one thread can park on [`SocketStack::wait_ready`] for all
+    /// of them; `Poll` keeps the spin/scan baseline for A/B comparison.
+    /// Ignored (no subscription) when `qp.poll_mode` is set — poll-mode
+    /// QPs only progress when the caller drives them, so parking on a
+    /// channel would deadlock.
+    pub notify: NotifyPath,
     /// Underlying queue-pair configuration.
     pub qp: QpConfig,
 }
@@ -47,6 +56,7 @@ impl Default for SocketConfig {
             slot_size: 8 * 1024,
             deliver_partial: false,
             adv_timeout: Duration::from_secs(1),
+            notify: notifypath::default_path(),
             qp: QpConfig::default(),
         }
     }
@@ -66,6 +76,9 @@ pub enum FdKind {
 pub(crate) struct StackInner {
     pub device: Device,
     pub cfg: SocketConfig,
+    /// Stack-wide completion channel datagram sockets subscribe to in
+    /// `NotifyPath::Event` (token = fd).
+    pub chan: CompletionChannel,
     next_fd: AtomicU32,
     fds: Mutex<HashMap<u32, FdKind>>,
 }
@@ -104,10 +117,13 @@ impl SocketStack {
         device_cfg: DeviceConfig,
         cfg: SocketConfig,
     ) -> Self {
+        let chan = CompletionChannel::new();
+        chan.attach_telemetry(fabric.telemetry());
         Self {
             inner: Arc::new(StackInner {
                 device: Device::with_config(fabric, node, device_cfg),
                 cfg,
+                chan,
                 next_fd: AtomicU32::new(3),
                 fds: Mutex::new(HashMap::new()),
             }),
@@ -150,6 +166,28 @@ impl SocketStack {
     #[must_use]
     pub fn open_sockets(&self) -> usize {
         self.inner.fds.lock().len()
+    }
+
+    /// The stack's completion channel — datagram sockets' receive CQs are
+    /// subscribed here (token = fd) under [`NotifyPath::Event`].
+    #[must_use]
+    pub fn completion_channel(&self) -> &CompletionChannel {
+        &self.inner.chan
+    }
+
+    /// Parks until at least one subscribed socket has receive-side work,
+    /// returning the ready fds (empty on timeout) — the `epoll_wait` of
+    /// the shim. Callers must then fully drain each ready socket (e.g.
+    /// loop [`crate::DgramSocket::try_recv_from`] until `None`):
+    /// readiness is edge-style and coalesced.
+    #[must_use]
+    pub fn wait_ready(&self, timeout: Duration) -> Vec<u32> {
+        self.inner
+            .chan
+            .wait_any(timeout)
+            .into_iter()
+            .map(|t| t as u32)
+            .collect()
     }
 }
 

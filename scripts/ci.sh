@@ -31,6 +31,11 @@ echo "==> chaos smoke: 25 seeded adversarial plans, invariant-checked"
 # Nightly soak: cargo test --release --test chaos -- --include-ignored
 cargo run --release -p iwarp-bench --bin chaos -- --plans 25
 
+echo "==> scale smoke: 256 SIP calls, 2 shards, event-driven completions"
+# Bounded concurrency-scaling run (legacy baseline + sharded/event mode);
+# fails if any call fails to establish. Full matrix: bin scale (no flags).
+cargo run --release -p iwarp-bench --bin scale -- --smoke --out target/scale_smoke.json
+
 echo "==> bench smoke: copypath kernels run once (--test mode)"
 cargo bench -p iwarp-bench --bench copypath -- --test
 
