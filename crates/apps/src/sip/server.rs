@@ -162,6 +162,9 @@ impl Drop for SipServer {
     }
 }
 
+/// Main-socket drain batch for the evented loop (`recv_many` vector size).
+const MAIN_BATCH: usize = 32;
+
 /// One UD call: its dedicated socket plus tracked application state.
 struct UdCall {
     sock: DgramSocket,
@@ -230,19 +233,31 @@ fn ud_event_loop_evented(
     let mut fd_to_call: HashMap<u32, String> = HashMap::new();
     let main_fd = main.fd();
     let mut buf = vec![0u8; 8 * 1024];
+    let mut batch = Vec::with_capacity(MAIN_BATCH);
     while !shared.shutdown.load(Ordering::Relaxed) {
         // Bounded wait so shutdown is noticed even on a dead-quiet fabric.
         for fd in stack.wait_ready(Duration::from_millis(20)) {
             if fd == main_fd {
-                while let Some((n, src)) = main.try_recv_from(&mut buf)? {
-                    if let Ok(msg) = SipMessage::parse(&buf[..n]) {
-                        if let Some((call_id, call_fd)) =
-                            handle_ud_message(stack, cfg, shared, &mut calls, main, &msg, src)?
-                        {
-                            fd_to_call.insert(call_fd, call_id);
+                // Setup storms land many INVITEs per readiness edge:
+                // drain the main socket in `recvmmsg`-style batches
+                // instead of one try_recv_from round-trip per message.
+                loop {
+                    batch.clear();
+                    match main.recv_many(&mut batch, MAIN_BATCH, Duration::ZERO) {
+                        Ok(_) => {}
+                        Err(iwarp::IwarpError::PollTimeout) => break,
+                        Err(e) => return Err(e),
+                    }
+                    for (data, src) in &batch {
+                        if let Ok(msg) = SipMessage::parse(data) {
+                            if let Some((call_id, call_fd)) = handle_ud_message(
+                                stack, cfg, shared, &mut calls, main, &msg, *src,
+                            )? {
+                                fd_to_call.insert(call_fd, call_id);
+                            }
+                        } else {
+                            shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
                         }
-                    } else {
-                        shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             } else if let Some(call_id) = fd_to_call.get(&fd).cloned() {

@@ -50,10 +50,16 @@ fn parse_args() -> Result<Args, String> {
                 args.dgrams = Some(grab("--dgrams")?.parse().map_err(|e| format!("--dgrams: {e}"))?);
             }
             "--verbose" | "-v" => args.verbose = true,
+            "--burst-path" => {
+                let spec = grab("--burst-path")?;
+                let path = iwarp_common::burstpath::BurstPath::parse(&spec)
+                    .ok_or(format!("--burst-path takes 'per-packet' or 'burst', got {spec:?}"))?;
+                iwarp_common::burstpath::set_default(path);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: chaos [--plans N] [--seed MASTER] [--msgs N] [--dgrams N] \
-                     [--verbose] | --replay SEED"
+                     [--verbose] [--burst-path {{per-packet,burst}}] | --replay SEED"
                 );
                 std::process::exit(0);
             }

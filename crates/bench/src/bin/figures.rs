@@ -46,6 +46,16 @@ fn set_copy_path(spec: &str) {
     iwarp_common::copypath::set_default(path);
 }
 
+/// Applies `--burst-path {per-packet,burst}` the same way: one flag A/Bs
+/// the batching discipline across every QP/fabric built afterwards.
+fn set_burst_path(spec: &str) {
+    let Some(path) = iwarp_common::burstpath::BurstPath::parse(spec) else {
+        eprintln!("--burst-path takes 'per-packet' or 'burst', got {spec:?}");
+        std::process::exit(2);
+    };
+    iwarp_common::burstpath::set_default(path);
+}
+
 fn parse_args() -> Args {
     let mut figs = Vec::new();
     let mut quick = false;
@@ -82,12 +92,19 @@ fn parse_args() -> Args {
             p if p.starts_with("--copy-path=") => {
                 set_copy_path(p.trim_start_matches("--copy-path="));
             }
+            "--burst-path" => {
+                i += 1;
+                set_burst_path(&argv[i]);
+            }
+            p if p.starts_with("--burst-path=") => {
+                set_burst_path(p.trim_start_matches("--burst-path="));
+            }
             f if f.starts_with("--fig") || f == "--overhead" || f == "--ext" => {
                 figs.push(f.trim_start_matches("--").to_owned());
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: figures [--all] [--fig5..--fig11] [--overhead] [--ext] [--quick] [--fast-fabric] [--telemetry] [--copy-path {{legacy,sg}}] [--calls a,b,c] [--out DIR]");
+                eprintln!("usage: figures [--all] [--fig5..--fig11] [--overhead] [--ext] [--quick] [--fast-fabric] [--telemetry] [--copy-path {{legacy,sg}}] [--burst-path {{per-packet,burst}}] [--calls a,b,c] [--out DIR]");
                 std::process::exit(2);
             }
         }

@@ -258,10 +258,18 @@ fn parse_args() -> Result<Args, String> {
                 args.idle_ms = 250;
             }
             "--full" => args.calls = vec![64, 256, 1024, 4096],
+            "--burst-path" => {
+                let spec = grab(&argv, i, "--burst-path")?;
+                let path = iwarp_common::burstpath::BurstPath::parse(&spec)
+                    .ok_or(format!("--burst-path takes 'per-packet' or 'burst', got {spec:?}"))?;
+                iwarp_common::burstpath::set_default(path);
+                i += 1;
+            }
             other => {
                 return Err(format!(
                     "unknown arg {other:?}\nusage: scale [--calls LIST] [--shards LIST] \
-                     [--idle-ms N] [--out PATH] [--smoke] [--full]"
+                     [--idle-ms N] [--out PATH] [--smoke] [--full] \
+                     [--burst-path {{per-packet,burst}}]"
                 ))
             }
         }

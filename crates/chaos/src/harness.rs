@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use iwarp::wr::RecvWr;
 use iwarp::{Access, Cq, Cqe, CqeOpcode, CqeStatus, Device, QpConfig, UdQp};
+use iwarp_common::burstpath::BurstPath;
 use iwarp_common::copypath::CopyPath;
 use iwarp_common::rng::{derive_seed, mix64};
 use iwarp_socket::{SocketConfig, SocketStack};
@@ -59,6 +60,10 @@ pub struct ChaosOpts {
     pub dgrams: usize,
     /// Collect a telemetry forensic dump (trace + snapshot) for failures.
     pub forensic: bool,
+    /// Which batching discipline the QPs under test use. The fault
+    /// adversary is oblivious to it, so a plan's fault trace and verdict
+    /// must be byte-identical either way (see `tests/determinism.rs`).
+    pub burst_path: BurstPath,
 }
 
 impl Default for ChaosOpts {
@@ -69,6 +74,7 @@ impl Default for ChaosOpts {
             read_msgs: 2,
             dgrams: 30,
             forensic: false,
+            burst_path: iwarp_common::burstpath::default_path(),
         }
     }
 }
@@ -214,8 +220,10 @@ fn drive_until_quiet(
     let start = Instant::now();
     let mut last_event = Instant::now();
     loop {
-        qb.progress(Duration::from_millis(1));
-        qa.progress(Duration::from_millis(1));
+        // Identical to `progress()` for PerPacket QPs; Burst QPs take the
+        // batched ingest + staged-completion path under the adversary.
+        qb.progress_burst(32, Duration::from_millis(1));
+        qa.progress_burst(32, Duration::from_millis(1));
         let mut any = false;
         while let Some(c) = cqs.b_recv.poll() {
             sink_recv_cqes.push(c);
@@ -266,6 +274,7 @@ pub fn run_plan(seed: u64, opts: &ChaosOpts) -> PlanReport {
         } else {
             CopyPath::Legacy
         },
+        burst_path: opts.burst_path,
         ..QpConfig::default()
     };
     let a = Device::new(&fab, NodeId(0));
@@ -534,6 +543,7 @@ pub fn run_plan(seed: u64, opts: &ChaosOpts) -> PlanReport {
             qp: QpConfig {
                 poll_mode: true,
                 recv_ttl: Duration::from_millis(60),
+                burst_path: opts.burst_path,
                 ..QpConfig::default()
             },
             ..SocketConfig::default()

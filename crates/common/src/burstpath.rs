@@ -1,0 +1,90 @@
+//! Process-wide default for whether endpoints batch packets per call.
+//!
+//! The burst datapath amortizes per-packet costs — fabric lock rounds,
+//! telemetry read-modify-writes, CQ lock/notify pairs — across a vector
+//! of packets, while preserving per-packet loss/fault semantics
+//! byte-for-byte (see DESIGN.md "Burst datapath" for the RNG draw-order
+//! contract). Like [`crate::copypath`], the selection itself is a
+//! per-QP/conduit configuration knob; this module only stores the
+//! *default* those configs pick up at construction time. The default is
+//! [`BurstPath::PerPacket`] so chaos/determinism baselines are untouched
+//! unless a run opts in (`--burst-path=burst`).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Whether a datapath moves one packet per call or a burst per call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BurstPath {
+    /// One packet per fabric transmit, one CQE per reap, one notify per
+    /// completion. The reference implementation and the default.
+    PerPacket,
+    /// Vectors of packets per fabric lock round, batched verbs, and one
+    /// notify per completion burst. Wire bytes are identical under a
+    /// fixed seed.
+    Burst,
+}
+
+impl BurstPath {
+    /// Parses the `--burst-path` CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "per-packet" => Some(Self::PerPacket),
+            "burst" => Some(Self::Burst),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::PerPacket => "per-packet",
+            Self::Burst => "burst",
+        }
+    }
+}
+
+impl std::fmt::Display for BurstPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+static DEFAULT: AtomicU8 = AtomicU8::new(0); // 0 = PerPacket
+
+/// Sets the process-wide default path picked up by endpoint configs at
+/// construction time (e.g. from `scale --burst-path=burst`).
+pub fn set_default(path: BurstPath) {
+    DEFAULT.store(
+        match path {
+            BurstPath::PerPacket => 0,
+            BurstPath::Burst => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-wide default path.
+#[must_use]
+pub fn default_path() -> BurstPath {
+    if DEFAULT.load(Ordering::Relaxed) == 0 {
+        BurstPath::PerPacket
+    } else {
+        BurstPath::Burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(BurstPath::parse("per-packet"), Some(BurstPath::PerPacket));
+        assert_eq!(BurstPath::parse("burst"), Some(BurstPath::Burst));
+        assert_eq!(BurstPath::parse("batched"), None);
+        assert_eq!(BurstPath::Burst.as_str(), "burst");
+        assert_eq!(BurstPath::PerPacket.to_string(), "per-packet");
+    }
+}

@@ -28,9 +28,14 @@
 //!   wait ([`notifypath::NotifyPath::Event`] parks on a completion
 //!   channel; [`notifypath::NotifyPath::Poll`] spin-polls), so the
 //!   scale-out harness can A/B the two.
+//! * [`burstpath`] — the analogous default for whether datapaths move
+//!   one packet per call ([`burstpath::BurstPath::PerPacket`]) or batch
+//!   vectors of packets per fabric/CQ lock round
+//!   ([`burstpath::BurstPath::Burst`]), so benches can A/B the two.
 
 #![warn(missing_docs)]
 
+pub mod burstpath;
 pub mod copypath;
 pub mod notifypath;
 pub mod crc32;

@@ -71,7 +71,7 @@ impl SgBytes {
     /// (i.e. [`SgBytes::to_bytes`] will not copy).
     #[must_use]
     pub fn is_contiguous(&self) -> bool {
-        self.parts.len() <= 1
+        self.parts().len() <= 1
     }
 
     /// Zero-copy sub-window `start..end` of the logical byte string.
@@ -85,9 +85,9 @@ impl SgBytes {
             "slice {start}..{end} out of bounds of {}",
             self.len
         );
-        let mut out = Self::with_capacity(self.parts.len());
+        let mut out = Self::with_capacity(self.parts().len());
         let mut pos = 0usize;
-        for p in &self.parts {
+        for p in self.parts() {
             let p_end = pos + p.len();
             if p_end > start && pos < end {
                 let from = start.saturating_sub(pos);
@@ -110,12 +110,12 @@ impl SgBytes {
     /// `pool.bytes_copied`).
     #[must_use]
     pub fn to_bytes(&self) -> Bytes {
-        match self.parts.len() {
+        match self.parts().len() {
             0 => Bytes::new(),
-            1 => self.parts[0].clone(),
+            1 => self.parts()[0].clone(),
             _ => {
                 let mut v = Vec::with_capacity(self.len);
-                for p in &self.parts {
+                for p in self.parts() {
                     v.extend_from_slice(p);
                 }
                 Bytes::from(v)
@@ -130,7 +130,7 @@ impl SgBytes {
     pub fn copy_to_slice(&self, dst: &mut [u8]) {
         assert_eq!(dst.len(), self.len, "destination length mismatch");
         let mut pos = 0usize;
-        for p in &self.parts {
+        for p in self.parts() {
             dst[pos..pos + p.len()].copy_from_slice(p);
             pos += p.len();
         }
@@ -145,10 +145,71 @@ impl SgBytes {
     /// Panics if the range is out of bounds.
     #[must_use]
     pub fn copy_range(&self, start: usize, end: usize) -> Vec<u8> {
-        let window = self.slice(start, end);
-        let mut v = vec![0u8; window.len()];
-        window.copy_to_slice(&mut v);
+        let mut v = vec![0u8; end - start];
+        self.read_at(start, &mut v);
         v
+    }
+
+    /// Copies `dst.len()` logical bytes starting at `start` into `dst`
+    /// without allocating — the header-peek primitive of the burst RX
+    /// path (a stack buffer instead of `copy_range`'s `Vec`).
+    ///
+    /// # Panics
+    /// Panics if `start + dst.len() > self.len()`.
+    pub fn read_at(&self, start: usize, dst: &mut [u8]) {
+        let end = start + dst.len();
+        assert!(
+            end <= self.len,
+            "read_at {start}..{end} out of bounds of {}",
+            self.len
+        );
+        let mut pos = 0usize;
+        let mut written = 0usize;
+        for p in self.parts() {
+            let p_end = pos + p.len();
+            if p_end > start && pos < end {
+                let from = start.saturating_sub(pos);
+                let to = p.len().min(end - pos);
+                dst[written..written + (to - from)].copy_from_slice(&p[from..to]);
+                written += to - from;
+            }
+            pos = p_end;
+            if pos >= end {
+                break;
+            }
+        }
+    }
+
+    /// `self.slice(start, end).to_bytes()` without the intermediate list:
+    /// zero-copy when the window lies within one part, a single bounded
+    /// copy otherwise.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > self.len()`.
+    #[must_use]
+    pub fn slice_to_bytes(&self, start: usize, end: usize) -> Bytes {
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds of {}",
+            self.len
+        );
+        if start == end {
+            return Bytes::new();
+        }
+        let mut pos = 0usize;
+        for p in self.parts() {
+            let p_end = pos + p.len();
+            if pos <= start && end <= p_end {
+                return p.slice(start - pos..end - pos);
+            }
+            if p_end > start {
+                break;
+            }
+            pos = p_end;
+        }
+        let mut v = vec![0u8; end - start];
+        self.read_at(start, &mut v);
+        Bytes::from(v)
     }
 }
 
@@ -174,7 +235,7 @@ impl Eq for SgBytes {}
 
 impl std::fmt::Debug for SgBytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SgBytes(len={}, parts={})", self.len, self.parts.len())
+        write!(f, "SgBytes(len={}, parts={})", self.len, self.parts().len())
     }
 }
 
@@ -223,5 +284,30 @@ mod tests {
         sg.copy_to_slice(&mut dst);
         assert_eq!(dst, &sg.to_bytes()[..]);
         assert_eq!(sg.copy_range(2, 6), &sg.to_bytes()[2..6]);
+    }
+
+    #[test]
+    fn read_at_matches_copy_range() {
+        let sg = sample();
+        let flat = sg.to_bytes();
+        for start in 0..=sg.len() {
+            for end in start..=sg.len() {
+                let mut buf = vec![0u8; end - start];
+                sg.read_at(start, &mut buf);
+                assert_eq!(&buf[..], &flat[start..end], "window {start}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_to_bytes_matches_slice_flatten() {
+        let sg = sample();
+        let flat = sg.to_bytes();
+        for start in 0..=sg.len() {
+            for end in start..=sg.len() {
+                let b = sg.slice_to_bytes(start, end);
+                assert_eq!(&b[..], &flat[start..end], "window {start}..{end}");
+            }
+        }
     }
 }

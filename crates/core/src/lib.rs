@@ -57,5 +57,5 @@ pub use device::{Device, DeviceConfig};
 pub use shard::{ShardConfig, ShardMap};
 pub use error::{IwarpError, IwarpResult};
 pub use qp::{QpConfig, RcListener, RcQp, RdQp, UdQp};
-pub use wr::UdDest;
+pub use wr::{SendWr, UdDest};
 pub use wr_record::WriteRecordInfo;

@@ -26,6 +26,7 @@ use bytes::Bytes;
 use iwarp_telemetry::{Counter, Histogram, Telemetry};
 use simnet::{Addr, DgramConduit, NetError, RdConduit};
 
+use iwarp_common::burstpath::BurstPath;
 use iwarp_common::copypath::CopyPath;
 use iwarp_common::memacct::MemScope;
 use iwarp_common::pool::BufPool;
@@ -35,12 +36,13 @@ use crate::buf::{MemoryRegion, MrTable};
 use crate::cq::{Cq, Cqe, CqeOpcode, CqeStatus};
 use crate::error::{IwarpError, IwarpResult};
 use crate::hdr::{
-    decode_sg, encode_tagged, encode_tagged_sg, encode_untagged, encode_untagged_sg, CRC_LEN,
+    decode_sg, encode_tagged, encode_tagged_sg, encode_untagged, encode_untagged_sg,
+    UntaggedSegBatch, CRC_LEN,
     RdmapOpcode, ReadRequest, TaggedHdr, UntaggedHdr, TAGGED_HDR_LEN, UNTAGGED_HDR_LEN,
 };
 use crate::qp::rx::{RxAction, RxCore, QN_READ_REQUEST, QN_SEND};
 use crate::qp::QpConfig;
-use crate::wr::{RecvWr, SendPayload, UdDest};
+use crate::wr::{RecvWr, SendPayload, SendWr, UdDest};
 
 pub use crate::qp::rx::QpStats;
 
@@ -100,6 +102,26 @@ impl DgLlp {
         }
     }
 
+    /// Non-blocking batch receive: up to `max` complete datagrams. UD
+    /// pulls wire packets in receive-queue batches
+    /// ([`DgramConduit::try_recv_burst`]); RD has no batch primitive and
+    /// loops its single-datagram receive.
+    fn try_recv_sg_burst(&self, max: usize) -> Vec<(Addr, SgBytes)> {
+        match self {
+            DgLlp::Ud(c) => c.try_recv_burst(max),
+            DgLlp::Rd(c) => {
+                let mut out = Vec::new();
+                while out.len() < max {
+                    match c.recv_from(Some(Duration::ZERO)) {
+                        Ok((src, b)) => out.push((src, SgBytes::from(b))),
+                        Err(_) => break,
+                    }
+                }
+                out
+            }
+        }
+    }
+
     /// Installs an arrival notifier on the conduit's wire endpoint.
     /// Returns `false` when the LLP has no notify hook (RD's windowed
     /// protocol needs its own engine thread); such QPs cannot be driven
@@ -145,6 +167,11 @@ impl DgLlp {
 pub(crate) struct QpTxTel {
     pub(crate) tx_msgs: Counter,
     pub(crate) tx_segments: Counter,
+    /// Destination-flush rounds issued by the burst datapath
+    /// ([`DatagramQp::post_send_batch`] under `BurstPath::Burst`): one
+    /// per (batch, destination) pair, so `tx_msgs / tx_bursts` is the
+    /// achieved send-side batching factor.
+    pub(crate) tx_bursts: Counter,
     pub(crate) msg_size_tx: Histogram,
     /// Eliminable datapath copies (shared `pool.bytes_copied` name): the
     /// legacy encoder's payload copy and RD's flatten land here. The
@@ -158,6 +185,7 @@ impl QpTxTel {
         Self {
             tx_msgs: tel.counter("core.qp.tx_msgs"),
             tx_segments: tel.counter("core.qp.tx_segments"),
+            tx_bursts: tel.counter("core.qp.tx_bursts"),
             msg_size_tx: tel.histogram("core.qp.msg_size_tx"),
             bytes_copied: tel.counter("pool.bytes_copied"),
         }
@@ -175,6 +203,9 @@ pub(crate) struct DgInner {
     max_msg_size: usize,
     /// Transmit datapath (from [`QpConfig::copy_path`]).
     copy_path: CopyPath,
+    /// Batching discipline (from [`QpConfig::burst_path`]): gates the
+    /// batch verbs' fabric bursts and the RX engines' batch ingest.
+    burst_path: BurstPath,
     /// Header-buffer pool shared with the fabric (SG encoders draw the
     /// pooled `hdr ++ crc` allocations from here).
     pool: BufPool,
@@ -220,6 +251,7 @@ impl DatagramQp {
     ) -> Self {
         let max_msg_size = cfg.max_msg_size;
         let copy_path = cfg.copy_path;
+        let burst_path = cfg.burst_path;
         let reliable = llp.is_reliable();
         send_cq.attach_telemetry(tel);
         recv_cq.attach_telemetry(tel);
@@ -235,6 +267,7 @@ impl DatagramQp {
             next_msn: AtomicU32::new(1),
             max_msg_size,
             copy_path,
+            burst_path,
             pool,
             shutdown: AtomicBool::new(false),
             _mem: mem,
@@ -278,6 +311,27 @@ impl DatagramQp {
     /// already does this work.
     pub fn progress(&self, max_wait: Duration) {
         rx_step(&self.inner, max_wait);
+    }
+
+    /// Poll-mode **burst** driver: like [`Self::progress`] but ingests up
+    /// to `budget` already-delivered datagrams per call, pulling wire
+    /// packets from the endpoint in receive-queue batches. Waits up to
+    /// `max_wait` only when nothing is queued. Falls back to a single
+    /// [`Self::progress`] step under [`BurstPath::PerPacket`] or on RD.
+    pub fn progress_burst(&self, budget: usize, max_wait: Duration) {
+        let inner = &self.inner;
+        if inner.burst_path == BurstPath::Burst {
+            if let DgLlp::Ud(c) = &inner.llp {
+                inner.rx.begin_completion_batch();
+                for (src, dgram) in c.recv_burst_from(budget, Some(max_wait)) {
+                    rx_dispatch(inner, src, &dgram);
+                }
+                inner.rx.expire();
+                inner.rx.flush_completion_batch();
+                return;
+            }
+        }
+        rx_step(inner, max_wait);
     }
 
     /// This QP's number (advertise it to peers along with
@@ -351,6 +405,14 @@ impl DatagramQp {
         Ok(())
     }
 
+    /// Posts a batch of receives under a single receive-ring lock round —
+    /// the `ibv_post_recv` linked-list idiom as a slice. Ring order is
+    /// identical to posting each WR individually.
+    pub fn post_recv_batch(&self, wrs: &[RecvWr]) -> IwarpResult<()> {
+        self.inner.rx.post_recv_batch(wrs.iter().cloned());
+        Ok(())
+    }
+
     /// Number of posted, unconsumed receives.
     #[must_use]
     pub fn posted_recvs(&self) -> usize {
@@ -381,6 +443,142 @@ impl DatagramQp {
         dest: UdDest,
     ) -> IwarpResult<()> {
         self.post_send_inner(wr_id, payload.into(), dest, true)
+    }
+
+    /// Posts a batch of untagged sends — the multi-WR doorbell.
+    ///
+    /// Under [`BurstPath::PerPacket`] this is exactly a loop over
+    /// [`Self::post_send`]. Under [`BurstPath::Burst`] (UD conduit,
+    /// scatter-gather datapath) every WR is segmented first, the segments
+    /// are flushed as **one fabric burst per destination**
+    /// ([`DgramConduit::send_sg_burst`]), and all completions are pushed
+    /// with one CQ lock/notify round ([`Cq::push_batch`]). Wire bytes,
+    /// CQE contents and CQE order are identical either way.
+    ///
+    /// Error contract: a WR that fails validation (oversized payload,
+    /// revoked region) stops the batch — earlier WRs are still flushed
+    /// and completed, the offender gets no CQE, and its error returns. A
+    /// destination whose *flush* fails completes that destination's WRs
+    /// with [`CqeStatus::Error`] and the first such error returns after
+    /// the whole batch is flushed.
+    pub fn post_send_batch(&self, wrs: &[SendWr]) -> IwarpResult<()> {
+        let burst = self.inner.burst_path == BurstPath::Burst
+            && self.inner.copy_path == CopyPath::Sg
+            && matches!(self.inner.llp, DgLlp::Ud(_));
+        if !burst || wrs.len() <= 1 {
+            for wr in wrs {
+                self.post_send_inner(wr.wr_id, wr.payload.clone(), wr.dest, wr.solicited)?;
+            }
+            return Ok(());
+        }
+        let DgLlp::Ud(conduit) = &self.inner.llp else {
+            unreachable!("burst gate requires the UD conduit")
+        };
+        // Validate and materialize every payload first: the segment count
+        // must be known up front so all DDP headers and CRC trailers of
+        // the doorbell come out of one pooled arena
+        // ([`UntaggedSegBatch`]) — one pool lock per batch.
+        let mut result = Ok(());
+        let mut datas: Vec<(u64, Bytes, Addr, bool)> = Vec::with_capacity(wrs.len());
+        for wr in wrs {
+            let data = match wr.payload.clone().into_bytes() {
+                Ok(d) => d,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
+            if data.len() > self.inner.max_msg_size {
+                result = Err(IwarpError::MessageTooLong {
+                    len: data.len(),
+                    max: self.inner.max_msg_size,
+                });
+                break;
+            }
+            datas.push((wr.wr_id, data, wr.dest.addr, wr.solicited));
+        }
+        let cap = self.untagged_seg_capacity();
+        let n_segs: usize = datas.iter().map(|(_, d, _, _)| d.len().div_ceil(cap).max(1)).sum();
+        // Segment every WR, grouping segments per destination in
+        // first-seen order. Most batches hit one or two destinations, so
+        // a linear scan beats hashing.
+        let mut dests: Vec<(Addr, Vec<SgBytes>)> = Vec::new();
+        let mut seg_dis: Vec<usize> = Vec::with_capacity(n_segs);
+        let mut enc = UntaggedSegBatch::new(&self.inner.pool, n_segs);
+        // (wr_id, total_len, destination slot) — enough to build the
+        // CQEs once the flush outcome per destination is known.
+        let mut posted: Vec<(u64, u32, usize)> = Vec::with_capacity(datas.len());
+        for (wr_id, data, addr, solicited) in datas {
+            let msg_id = self.inner.next_msg_id.fetch_add(1, Ordering::Relaxed);
+            let msn = self.inner.next_msn.fetch_add(1, Ordering::Relaxed);
+            let total = data.len() as u32;
+            self.inner.tx_tel.tx_msgs.inc();
+            self.inner.tx_tel.msg_size_tx.record(u64::from(total));
+            let di = match dests.iter().position(|(d, _)| *d == addr) {
+                Some(i) => i,
+                None => {
+                    dests.push((addr, Vec::new()));
+                    dests.len() - 1
+                }
+            };
+            let mut mo = 0usize;
+            loop {
+                self.inner.tx_tel.tx_segments.inc();
+                let end = (mo + cap).min(data.len());
+                let hdr = UntaggedHdr {
+                    opcode: RdmapOpcode::Send,
+                    last: end == data.len(),
+                    qn: QN_SEND,
+                    msn,
+                    mo: mo as u32,
+                    total_len: total,
+                    src_qpn: self.inner.qpn,
+                    msg_id,
+                    solicited,
+                };
+                enc.push(&hdr, data.slice(mo..end));
+                seg_dis.push(di);
+                if end == data.len() {
+                    break;
+                }
+                mo = end;
+            }
+            posted.push((wr_id, total, di));
+        }
+        for (sg, di) in enc.finish().into_iter().zip(seg_dis) {
+            dests[di].1.push(sg);
+        }
+        // One burst per destination; remember which flushes failed.
+        let mut flushed = vec![true; dests.len()];
+        for (i, (dst, segs)) in dests.into_iter().enumerate() {
+            self.inner.tx_tel.tx_bursts.inc();
+            if let Err(e) = conduit.send_sg_burst(dst, segs) {
+                flushed[i] = false;
+                if result.is_ok() {
+                    result = Err(e.into());
+                }
+            }
+        }
+        // All completions in WR order under one CQ lock/notify round.
+        let cqes = posted
+            .into_iter()
+            .map(|(wr_id, total, di)| Cqe {
+                wr_id,
+                opcode: CqeOpcode::Send,
+                status: if flushed[di] {
+                    CqeStatus::Success
+                } else {
+                    CqeStatus::Error
+                },
+                byte_len: total,
+                src: None,
+                write_record: None,
+                imm: None,
+                solicited: false,
+            })
+            .collect();
+        self.inner.send_cq.push_batch(cqes);
+        result
     }
 
     fn post_send_inner(
@@ -418,7 +616,23 @@ impl DatagramQp {
                 msg_id,
                 solicited,
             };
-            self.send_untagged_seg(&hdr, &data, mo, end, dest.addr)?;
+            if let Err(e) = self.send_untagged_seg(&hdr, &data, mo, end, dest.addr) {
+                // The WR was accepted and earlier segments may already be
+                // on the wire, so the application must see a completion —
+                // but never a Success one. `byte_len` reports the bytes
+                // flushed before the failure.
+                self.inner.send_cq.push(Cqe {
+                    wr_id,
+                    opcode: CqeOpcode::Send,
+                    status: CqeStatus::Error,
+                    byte_len: mo as u32,
+                    src: None,
+                    write_record: None,
+                    imm: None,
+                    solicited: false,
+                });
+                return Err(e);
+            }
             if end == data.len() {
                 break;
             }
@@ -551,7 +765,21 @@ impl DatagramQp {
                 msg_id,
                 imm,
             };
-            send_tagged_seg(&self.inner, &hdr, &data, off, end, dest.addr)?;
+            if let Err(e) = send_tagged_seg(&self.inner, &hdr, &data, off, end, dest.addr) {
+                // Same contract as the untagged path: a mid-message flush
+                // failure completes the WR with an error, never Success.
+                self.inner.send_cq.push(Cqe {
+                    wr_id,
+                    opcode: CqeOpcode::RdmaWrite,
+                    status: CqeStatus::Error,
+                    byte_len: off as u32,
+                    src: None,
+                    write_record: None,
+                    imm: None,
+                    solicited: false,
+                });
+                return Err(e);
+            }
             if end == data.len() {
                 break;
             }
@@ -757,6 +985,19 @@ fn rx_dispatch(inner: &DgInner, src: Addr, dgram: &SgBytes) {
 /// may be pending and the caller should re-queue this QP (fairness:
 /// a flooding QP must not starve its shard siblings).
 pub(crate) fn rx_drain(inner: &DgInner, budget: usize) -> bool {
+    if inner.burst_path == BurstPath::Burst {
+        // Burst ingest: one receive-queue lock round pulls the whole
+        // batch, then each datagram runs the identical dispatch path.
+        let dgrams = inner.llp.try_recv_sg_burst(budget);
+        let exhausted = dgrams.len() == budget;
+        inner.rx.begin_completion_batch();
+        for (src, dgram) in &dgrams {
+            rx_dispatch(inner, *src, dgram);
+        }
+        inner.rx.expire();
+        inner.rx.flush_completion_batch();
+        return exhausted;
+    }
     for _ in 0..budget {
         match inner.llp.try_recv_sg() {
             Ok((src, dgram)) => rx_dispatch(inner, src, &dgram),

@@ -62,6 +62,17 @@ pub struct QpConfig {
     /// [`iwarp_common::copypath::default_path`] at construction time, so
     /// `figures --copy-path=legacy` A/Bs the whole stack.
     pub copy_path: iwarp_common::copypath::CopyPath,
+    /// Whether batch verbs and the RX engine move one packet per call
+    /// ([`BurstPath::PerPacket`], the reference behaviour) or batch
+    /// vectors of packets per fabric/CQ lock round
+    /// ([`BurstPath::Burst`]). Wire bytes are identical under a fixed
+    /// seed either way; defaults to the process-wide
+    /// [`iwarp_common::burstpath::default_path`] at construction time, so
+    /// `--burst-path=burst` A/Bs the whole stack.
+    ///
+    /// [`BurstPath::PerPacket`]: iwarp_common::burstpath::BurstPath::PerPacket
+    /// [`BurstPath::Burst`]: iwarp_common::burstpath::BurstPath::Burst
+    pub burst_path: iwarp_common::burstpath::BurstPath,
 }
 
 impl Default for QpConfig {
@@ -73,6 +84,7 @@ impl Default for QpConfig {
             read_ttl: Duration::from_millis(500),
             poll_mode: false,
             copy_path: iwarp_common::copypath::default_path(),
+            burst_path: iwarp_common::burstpath::default_path(),
         }
     }
 }

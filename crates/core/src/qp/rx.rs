@@ -9,7 +9,7 @@
 //! work (read responses) as [`RxAction`]s for the owning engine to send.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -172,6 +172,12 @@ pub(crate) struct RxCore {
     records: RecordTable,
     pending_reads: Mutex<HashMap<u64, PendingRead>>,
     next_sweep: Mutex<Instant>,
+    /// When set, completions are staged in `staged` instead of pushed
+    /// individually; the burst drains flush them with one
+    /// [`Cq::push_batch`] round per ingest batch. Toggled only by the
+    /// single engine driving this QP.
+    staging: AtomicBool,
+    staged: Mutex<Vec<Cqe>>,
 }
 
 impl RxCore {
@@ -194,6 +200,37 @@ impl RxCore {
             pending_recv: Mutex::new(HashMap::new()),
             pending_reads: Mutex::new(HashMap::new()),
             next_sweep: Mutex::new(Instant::now() + Duration::from_millis(50)),
+            staging: AtomicBool::new(false),
+            staged: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Emits one receive-side completion: staged while a completion batch
+    /// is open (burst ingest), pushed directly otherwise. Every CQE the
+    /// core generates funnels through here so batching cannot reorder
+    /// completions — the staging buffer preserves generation order.
+    fn complete(&self, cqe: Cqe) {
+        if self.staging.load(Ordering::Relaxed) {
+            self.staged.lock().push(cqe);
+        } else {
+            self.recv_cq.push(cqe);
+        }
+    }
+
+    /// Opens a completion batch: subsequent [`Self::complete`] calls are
+    /// staged until [`Self::flush_completion_batch`]. Only the engine
+    /// driving this QP may call this (one drain at a time).
+    pub(crate) fn begin_completion_batch(&self) {
+        self.staging.store(true, Ordering::Relaxed);
+    }
+
+    /// Closes the completion batch and pushes everything staged with one
+    /// CQ lock/notify round.
+    pub(crate) fn flush_completion_batch(&self) {
+        self.staging.store(false, Ordering::Relaxed);
+        let staged = std::mem::take(&mut *self.staged.lock());
+        if !staged.is_empty() {
+            self.recv_cq.push_batch(staged);
         }
     }
 
@@ -211,6 +248,12 @@ impl RxCore {
     /// Queues a receive work request.
     pub fn post_recv(&self, wr: RecvWr) {
         self.rq.lock().push_back(wr);
+    }
+
+    /// Queues a batch of receive work requests under one ring lock,
+    /// preserving iteration order.
+    pub fn post_recv_batch(&self, wrs: impl IntoIterator<Item = RecvWr>) {
+        self.rq.lock().extend(wrs);
     }
 
     /// Number of receives currently posted (unconsumed).
@@ -364,6 +407,66 @@ impl RxCore {
     fn place_untagged(&self, src: Addr, hdr: &UntaggedHdr, payload: &Bytes) {
         let key = (src, hdr.src_qpn, hdr.msg_id);
         let mut pending = self.pending_recv.lock();
+        // Single-segment fast path: a message that arrives whole needs no
+        // reassembly state, so skip the pending-map round-trip, validity
+        // tracking, and expiry timestamping. Guarded on an empty pending
+        // map so an in-flight reassembly (or a lingering discard entry)
+        // for this key falls through to the full path below, which is
+        // byte-for-byte equivalent for this shape of segment.
+        if hdr.mo == 0
+            && hdr.last
+            && payload.len() as u64 == u64::from(hdr.total_len)
+            && pending.is_empty()
+        {
+            drop(pending);
+            let Some(wr) = self.rq.lock().pop_front() else {
+                self.stats.dropped_no_rq.fetch_add(1, Ordering::Relaxed);
+                self.tel.dropped_no_rq.inc();
+                return;
+            };
+            if hdr.total_len > wr.len {
+                self.complete(Cqe {
+                    wr_id: wr.wr_id,
+                    opcode: CqeOpcode::Recv,
+                    status: CqeStatus::RecvTooSmall,
+                    byte_len: hdr.total_len,
+                    src: Some(CqeSource {
+                        addr: src,
+                        qpn: hdr.src_qpn,
+                    }),
+                    write_record: None,
+                    imm: None,
+                    solicited: false,
+                });
+                return;
+            }
+            if wr.mr.write(wr.offset, payload).is_err() {
+                self.stats.access_violations.fetch_add(1, Ordering::Relaxed);
+                self.tel.access_violations.inc();
+                return;
+            }
+            self.tel
+                .trace(EventKind::Placement, payload.len() as u64, hdr.msg_id);
+            self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
+            self.tel.rx_messages.inc();
+            self.tel.msg_bytes.record(u64::from(hdr.total_len));
+            self.tel
+                .trace(EventKind::Cqe, u64::from(hdr.total_len), hdr.msg_id);
+            self.complete(Cqe {
+                wr_id: wr.wr_id,
+                opcode: CqeOpcode::Recv,
+                status: CqeStatus::Success,
+                byte_len: hdr.total_len,
+                src: Some(CqeSource {
+                    addr: src,
+                    qpn: hdr.src_qpn,
+                }),
+                write_record: None,
+                imm: None,
+                solicited: hdr.solicited,
+            });
+            return;
+        }
         let entry = match pending.get_mut(&key) {
             Some(e) => e,
             None => {
@@ -377,7 +480,7 @@ impl RxCore {
                 if discard {
                     // Buffer too small: complete with an error and mark the
                     // message so its other segments don't eat more WRs.
-                    self.recv_cq.push(Cqe {
+                    self.complete(Cqe {
                         wr_id: wr.wr_id,
                         opcode: CqeOpcode::Recv,
                         status: CqeStatus::RecvTooSmall,
@@ -429,7 +532,7 @@ impl RxCore {
             self.tel.msg_bytes.record(u64::from(done.total));
             self.tel
                 .trace(EventKind::Cqe, u64::from(done.total), hdr.msg_id);
-            self.recv_cq.push(Cqe {
+            self.complete(Cqe {
                 wr_id: done.wr.wr_id,
                 opcode: CqeOpcode::Recv,
                 status: CqeStatus::Success,
@@ -541,7 +644,7 @@ impl RxCore {
                             self.tel.msg_bytes.record(info.valid_bytes());
                             self.tel
                                 .trace(EventKind::Cqe, info.valid_bytes(), hdr.msg_id);
-                            self.recv_cq.push(Cqe {
+                            self.complete(Cqe {
                                 wr_id: wr.wr_id,
                                 opcode: CqeOpcode::Recv,
                                 status,
@@ -562,7 +665,7 @@ impl RxCore {
                         self.tel.msg_bytes.record(info.valid_bytes());
                         self.tel
                             .trace(EventKind::Cqe, info.valid_bytes(), hdr.msg_id);
-                        self.recv_cq.push(Cqe {
+                        self.complete(Cqe {
                             // No WR was consumed: Write-Record is truly
                             // one-sided (paper §IV.B.3).
                             wr_id: 0,
@@ -622,7 +725,7 @@ impl RxCore {
             self.tel.msg_bytes.record(u64::from(done.len));
             self.tel
                 .trace(EventKind::Cqe, u64::from(done.len), hdr.msg_id);
-            self.recv_cq.push(Cqe {
+            self.complete(Cqe {
                 wr_id: done.wr_id,
                 opcode: CqeOpcode::RdmaRead,
                 status: CqeStatus::Success,
@@ -673,7 +776,7 @@ impl RxCore {
                 self.stats.expired_recvs.fetch_add(1, Ordering::Relaxed);
                 self.tel.recovery_expired.inc();
                 if !p.discard {
-                    self.recv_cq.push(Cqe {
+                    self.complete(Cqe {
                         wr_id: p.wr.wr_id,
                         opcode: CqeOpcode::Recv,
                         status: CqeStatus::Expired,
@@ -700,7 +803,7 @@ impl RxCore {
             for key in expired {
                 let p = reads.remove(&key).expect("present");
                 self.tel.read_expired.inc();
-                self.recv_cq.push(Cqe {
+                self.complete(Cqe {
                     wr_id: p.wr_id,
                     opcode: CqeOpcode::RdmaRead,
                     status: CqeStatus::Expired,
@@ -725,7 +828,7 @@ impl RxCore {
     pub fn flush(&self) {
         let mut rq = self.rq.lock();
         while let Some(wr) = rq.pop_front() {
-            self.recv_cq.push(Cqe {
+            self.complete(Cqe {
                 wr_id: wr.wr_id,
                 opcode: CqeOpcode::Recv,
                 status: CqeStatus::Flushed,

@@ -47,6 +47,35 @@ impl RecvWr {
     }
 }
 
+/// One element of a multi-WR send batch
+/// ([`DatagramQp::post_send_batch`]): everything a single
+/// [`post_send`](crate::qp::DatagramQp::post_send) call takes, as data.
+///
+/// [`DatagramQp::post_send_batch`]: crate::qp::DatagramQp::post_send_batch
+#[derive(Clone, Debug)]
+pub struct SendWr {
+    /// Application token returned in the completion.
+    pub wr_id: u64,
+    /// Bytes to send.
+    pub payload: SendPayload,
+    /// Target conduit address + QP number.
+    pub dest: UdDest,
+    /// Request a solicited event at the target.
+    pub solicited: bool,
+}
+
+impl SendWr {
+    /// An unsolicited send WR.
+    pub fn new(wr_id: u64, payload: impl Into<SendPayload>, dest: UdDest) -> Self {
+        Self {
+            wr_id,
+            payload: payload.into(),
+            dest,
+            solicited: false,
+        }
+    }
+}
+
 /// A send payload: either an owned byte buffer (the common case for the
 /// socket shim) or a slice of a registered region (zero app-copy path).
 #[derive(Clone, Debug)]

@@ -224,6 +224,78 @@ impl DgramConduit {
         Ok(())
     }
 
+    /// Sends a burst of datagrams to `dst` through one fabric lock round.
+    ///
+    /// Each datagram is fragmented exactly as [`send_sg`](Self::send_sg)
+    /// would — same ids, same headers, same per-datagram telemetry — but
+    /// every fragment of every datagram is handed to the wire in a single
+    /// [`Endpoint::send_burst`], so the fabric's loss/chaos state is
+    /// locked once for the whole burst instead of once per fragment. An
+    /// oversized datagram stops the burst at that datagram (earlier ones
+    /// still go out, matching N sequential sends) and the error
+    /// propagates.
+    pub fn send_sg_burst(&self, dst: Addr, payloads: Vec<SgBytes>) -> NetResult<()> {
+        let mut sends: Vec<crate::fabric::SgSend> = Vec::with_capacity(payloads.len());
+        let mut result = Ok(());
+        // All fragment headers of the burst come from ONE pooled buffer:
+        // the pool shard is locked once per burst, not once per datagram.
+        let total_frags: usize = payloads
+            .iter()
+            .map(|p| p.len().div_ceil(self.frag_payload).max(1))
+            .sum();
+        let mut hdrs = self.pool.get(total_frags * FRAG_HEADER);
+        let mut h_off = 0usize;
+        let mut metas: Vec<(SgBytes, u16)> = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            if payload.len() > MAX_DATAGRAM {
+                result = Err(NetError::TooBig {
+                    len: payload.len(),
+                    max: MAX_DATAGRAM,
+                });
+                break;
+            }
+            let (id, frag_count, total_len) = self.prepare_send(&payload);
+            for idx in 0..frag_count {
+                write_frag_header(
+                    &mut hdrs[h_off + usize::from(idx) * FRAG_HEADER..],
+                    id,
+                    idx,
+                    frag_count,
+                    total_len,
+                );
+            }
+            h_off += usize::from(frag_count) * FRAG_HEADER;
+            metas.push((payload, frag_count));
+        }
+        let hdrs = hdrs.freeze();
+        let mut h = 0usize;
+        for (payload, frag_count) in metas {
+            if frag_count == 1 {
+                // Unfragmented: the whole datagram moves through without
+                // re-slicing (the common small-message case).
+                sends.push(crate::fabric::SgSend {
+                    dst,
+                    header: hdrs.slice(h..h + FRAG_HEADER),
+                    payload,
+                });
+                h += FRAG_HEADER;
+                continue;
+            }
+            for idx in 0..frag_count {
+                let start = usize::from(idx) * self.frag_payload;
+                let end = (start + self.frag_payload).min(payload.len());
+                sends.push(crate::fabric::SgSend {
+                    dst,
+                    header: hdrs.slice(h..h + FRAG_HEADER),
+                    payload: payload.slice(start, end),
+                });
+                h += FRAG_HEADER;
+            }
+        }
+        self.ep.send_burst(sends)?;
+        result
+    }
+
     /// The pre-zero-copy reference datapath: one contiguous frame per
     /// fragment, each paying an alloc plus a payload copy.
     fn send_legacy(&self, dst: Addr, payload: &Bytes) -> NetResult<()> {
@@ -309,7 +381,7 @@ impl DgramConduit {
             loop {
                 match self.ep.try_recv() {
                     Ok(pkt) => {
-                        if let Some(done) = self.ingest(&pkt) {
+                        if let Some(done) = self.ingest(pkt) {
                             return Ok(done);
                         }
                     }
@@ -328,7 +400,7 @@ impl DgramConduit {
                 }
             };
             let pkt = self.ep.recv(remaining)?;
-            if let Some(done) = self.ingest(&pkt) {
+            if let Some(done) = self.ingest(pkt) {
                 return Ok(done);
             }
         }
@@ -338,8 +410,72 @@ impl DgramConduit {
     pub fn try_recv_sg_from(&self) -> NetResult<(Addr, SgBytes)> {
         loop {
             let pkt = self.ep.try_recv()?;
-            if let Some(done) = self.ingest(&pkt) {
+            if let Some(done) = self.ingest(pkt) {
                 return Ok(done);
+            }
+        }
+    }
+
+    /// Drains up to `max` complete datagrams without blocking, pulling
+    /// queued wire packets in batches ([`Endpoint::recv_burst`]) so the
+    /// receive-queue lock is taken once per batch rather than once per
+    /// fragment. Returns fewer than `max` (possibly zero) when the queue
+    /// runs dry.
+    #[must_use]
+    pub fn try_recv_burst(&self, max: usize) -> Vec<(Addr, SgBytes)> {
+        let mut out = Vec::new();
+        loop {
+            let want = max - out.len();
+            if want == 0 {
+                return out;
+            }
+            // Each wire packet completes at most one datagram, so asking
+            // for `want` packets can never overshoot `max` datagrams.
+            let pkts = self.ep.recv_burst(want, None);
+            if pkts.is_empty() {
+                return out;
+            }
+            let drained = pkts.len() < want;
+            for pkt in pkts {
+                if let Some(done) = self.ingest(pkt) {
+                    out.push(done);
+                }
+            }
+            if drained {
+                return out;
+            }
+        }
+    }
+
+    /// Blocking variant of [`try_recv_burst`](Self::try_recv_burst):
+    /// waits up to `timeout` (`None` = indefinitely) for the *first*
+    /// complete datagram, then drains whatever else is already queued,
+    /// up to `max`.
+    #[must_use]
+    pub fn recv_burst_from(&self, max: usize, timeout: Option<Duration>) -> Vec<(Addr, SgBytes)> {
+        let mut out = self.try_recv_burst(max);
+        if !out.is_empty() || max == 0 {
+            return out;
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            let remaining = match deadline {
+                None => None,
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return out;
+                    }
+                    Some(d - now)
+                }
+            };
+            let Ok(pkt) = self.ep.recv(remaining) else {
+                return out;
+            };
+            if let Some(done) = self.ingest(pkt) {
+                out.push(done);
+                out.extend(self.try_recv_burst(max - out.len()));
+                return out;
             }
         }
     }
@@ -351,15 +487,24 @@ impl DgramConduit {
     /// packets, whatever datapath the sender used. Unfragmented datagrams
     /// pass through as zero-copy slices of the arriving frame; only
     /// multi-fragment datagrams touch a (pooled) reassembly buffer.
-    fn ingest(&self, pkt: &WirePacket) -> Option<(Addr, SgBytes)> {
+    fn ingest(&self, pkt: WirePacket) -> Option<(Addr, SgBytes)> {
         let src = pkt.src;
-        let frame = pkt.frame();
-        if frame.len() < FRAG_HEADER {
+        if pkt.header.len() + pkt.payload.len() < FRAG_HEADER {
             return None; // not ours; ignore (wire noise)
         }
-        // The fragment header is 13 bytes at a part boundary in the sg
-        // case; `copy_range` costs a bounded stack-size copy either way.
-        let hdr = frame.copy_range(0, FRAG_HEADER);
+        // The fragment header is 13 bytes on the stack either way; the SG
+        // datapath sends it as exactly `WirePacket::header`, so the common
+        // case parses in place and moves the payload through untouched —
+        // no intermediate frame list, no refcount churn.
+        let mut hdr = [0u8; FRAG_HEADER];
+        let body = if pkt.header.len() == FRAG_HEADER {
+            hdr.copy_from_slice(&pkt.header);
+            pkt.payload
+        } else {
+            let frame = pkt.frame();
+            frame.read_at(0, &mut hdr);
+            frame.slice(FRAG_HEADER, frame.len())
+        };
         if hdr[0] != PROTO_DGRAM {
             return None;
         }
@@ -367,7 +512,6 @@ impl DgramConduit {
         let idx = u16::from_be_bytes(hdr[5..7].try_into().ok()?);
         let cnt = u16::from_be_bytes(hdr[7..9].try_into().ok()?);
         let total_len = u32::from_be_bytes(hdr[9..13].try_into().ok()?);
-        let body = frame.slice(FRAG_HEADER, frame.len());
         if cnt == 0 || idx >= cnt || total_len as usize > MAX_DATAGRAM {
             return None; // malformed
         }

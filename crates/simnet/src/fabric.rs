@@ -100,6 +100,11 @@ struct FabricTel {
     dropped_unreachable: Counter,
     pkts_dropped: Counter,
     pkt_bytes: Histogram,
+    /// Rounds of acquiring the shared TX state (loss + chaos mutexes):
+    /// one per [`Fabric::transmit`] call, one per whole
+    /// [`Fabric::transmit_burst`] — the burst datapath's headline
+    /// amortization, so benches report acquisitions *per message*.
+    lock_acquisitions: Counter,
 }
 
 impl FabricTel {
@@ -113,6 +118,7 @@ impl FabricTel {
             dropped_unreachable: tel.counter("simnet.fabric.dropped_unreachable"),
             pkts_dropped: tel.counter("simnet.fabric.pkts_dropped"),
             pkt_bytes: tel.histogram("simnet.fabric.pkt_bytes"),
+            lock_acquisitions: tel.counter("simnet.fabric.lock_acquisitions"),
             tel,
         }
     }
@@ -411,6 +417,7 @@ impl Fabric {
         stats.tx_packets.fetch_add(1, Ordering::Relaxed);
         stats.tx_bytes.fetch_add(wire_len as u64, Ordering::Relaxed);
         let tel = &self.inner.tel;
+        tel.lock_acquisitions.inc();
         tel.tx_packets.inc();
         tel.tx_bytes.add(wire_len as u64);
         tel.pkt_bytes.record(wire_len as u64);
@@ -488,6 +495,203 @@ impl Fabric {
             None => self.forward(pkt),
         }
         Ok(())
+    }
+
+    /// Transmits a vector of wire packets as one burst.
+    ///
+    /// Per-packet semantics are preserved byte-for-byte: each packet runs
+    /// the exact [`transmit`](Fabric::transmit) pipeline — MTU check,
+    /// pacing, loss roll, chaos stages — in order, so the seeded loss RNG
+    /// and every per-link chaos RNG see precisely the draw order of N
+    /// single transmits. What the burst amortizes is the *bookkeeping*:
+    /// the loss/chaos mutexes are acquired once (counted once in
+    /// `fabric.lock_acquisitions`), shared counters are updated with one
+    /// RMW per burst, and post-adversary survivors are delivered as a
+    /// batch. An oversized packet stops the burst exactly where N single
+    /// transmits would: earlier packets still go out, the error
+    /// propagates.
+    fn transmit_burst(&self, pkts: Vec<WirePacket>) -> NetResult<()> {
+        if pkts.is_empty() {
+            return Ok(());
+        }
+        if pkts.len() == 1 {
+            let pkt = pkts.into_iter().next().expect("len checked");
+            return self.transmit(pkt);
+        }
+        let cfg = &self.inner.cfg;
+        let tel = &self.inner.tel;
+        let stats = &self.inner.stats;
+        let tracing = tel.tel.tracer().armed();
+
+        // Validate, trace and pace in packet order before touching the
+        // shared TX state (pacing sleeps must not hold the loss lock).
+        let mut accepted = Vec::with_capacity(pkts.len());
+        let mut result = Ok(());
+        let mut tx_bytes = 0u64;
+        for pkt in pkts {
+            let wire_len = pkt.wire_len();
+            if wire_len > cfg.mtu {
+                result = Err(NetError::TooBig {
+                    len: wire_len,
+                    max: cfg.mtu,
+                });
+                break;
+            }
+            tx_bytes += wire_len as u64;
+            tel.pkt_bytes.record(wire_len as u64);
+            if tracing {
+                tel.tel.tracer().record(
+                    tel.tel.now_nanos(),
+                    endpoint_id(pkt.src),
+                    EventKind::Tx,
+                    wire_len as u64,
+                    endpoint_id(pkt.dst).0.into(),
+                );
+            }
+            if cfg.bandwidth_bps > 0 {
+                let wire_bits = ((wire_len + WIRE_HEADER_BYTES) * 8) as u64;
+                let tx_nanos = wire_bits
+                    .saturating_mul(1_000_000_000)
+                    .checked_div(cfg.bandwidth_bps)
+                    .unwrap_or(0);
+                let tx_time = Duration::from_nanos(tx_nanos);
+                let until = {
+                    let mut links = self.inner.link_free_at.lock();
+                    let now = Instant::now();
+                    let free_at = links.entry(pkt.src.node).or_insert(now);
+                    let start = (*free_at).max(now);
+                    *free_at = start + tx_time;
+                    *free_at
+                };
+                precise_wait_until(until);
+            }
+            accepted.push(pkt);
+        }
+        stats
+            .tx_packets
+            .fetch_add(accepted.len() as u64, Ordering::Relaxed);
+        stats.tx_bytes.fetch_add(tx_bytes, Ordering::Relaxed);
+        tel.tx_packets.add(accepted.len() as u64);
+        tel.tx_bytes.add(tx_bytes);
+        if accepted.is_empty() {
+            return result;
+        }
+
+        // One lock round over the shared TX state for the whole burst.
+        tel.lock_acquisitions.inc();
+        let mut forwards: Vec<WirePacket> = Vec::with_capacity(accepted.len());
+        let mut dropped = 0u64;
+        {
+            let mut loss_guard = self.inner.loss.lock();
+            let mut chaos_guard = self.inner.chaos.lock();
+            let (rng, state) = &mut *loss_guard;
+            for pkt in accepted {
+                if state.should_drop(&cfg.loss, rng) {
+                    dropped += 1;
+                    if tracing {
+                        tel.tel.tracer().record(
+                            tel.tel.now_nanos(),
+                            endpoint_id(pkt.dst),
+                            EventKind::Drop,
+                            pkt.wire_len() as u64,
+                            endpoint_id(pkt.src).0.into(),
+                        );
+                    }
+                    continue;
+                }
+                match &mut *chaos_guard {
+                    Some(chaos) => {
+                        let before = chaos.trace_len();
+                        let out = chaos.apply(pkt.clone());
+                        let injected = chaos.trace_tail(before);
+                        self.trace_faults(&injected);
+                        forwards.extend(out.forward);
+                    }
+                    None => forwards.push(pkt),
+                }
+            }
+        }
+        if dropped > 0 {
+            stats.dropped_loss.fetch_add(dropped, Ordering::Relaxed);
+            tel.dropped_loss.add(dropped);
+            tel.pkts_dropped.add(dropped);
+        }
+        if self.inner.delay_line.is_some() {
+            for p in forwards {
+                self.forward(p);
+            }
+        } else {
+            self.deliver_burst(forwards);
+        }
+        result
+    }
+
+    /// Delivers a burst of post-adversary packets: unicast packets are
+    /// grouped by destination so the endpoint map is read once and each
+    /// receive queue locked/notified once per burst, preserving
+    /// per-destination FIFO order (the only order the wire guarantees).
+    /// Falls back to per-packet [`deliver`](Fabric::deliver) when the
+    /// burst contains a multicast packet or the packet tracer is armed,
+    /// keeping fan-out bookkeeping and forensic event order exactly as in
+    /// the per-packet path.
+    fn deliver_burst(&self, pkts: Vec<WirePacket>) {
+        if pkts.is_empty() {
+            return;
+        }
+        if self.inner.tel.tel.tracer().armed() || pkts.iter().any(|p| Self::is_multicast(p.dst)) {
+            for p in pkts {
+                self.deliver(p);
+            }
+            return;
+        }
+        // Group by destination preserving per-destination order. Bursts
+        // touch a handful of destinations, so a linear scan beats hashing.
+        let mut groups: Vec<(Addr, Vec<WirePacket>)> = Vec::new();
+        for p in pkts {
+            match groups.iter_mut().find(|(d, _)| *d == p.dst) {
+                Some((_, v)) => v.push(p),
+                None => groups.push((p.dst, vec![p])),
+            }
+        }
+        let mut delivered = 0u64;
+        let mut wake: Vec<(Addr, RxNotify)> = Vec::new();
+        {
+            let eps = self.inner.endpoints.read();
+            for (dst, group) in groups {
+                let Some(slot) = eps.get(&dst) else {
+                    for p in &group {
+                        self.count_unreachable(p);
+                    }
+                    continue;
+                };
+                let n = group.len();
+                if slot.tx.send_batch(group) == n {
+                    delivered += n as u64;
+                    if let Some(nf) = &slot.notify {
+                        wake.push((dst, Arc::clone(nf)));
+                    }
+                } else {
+                    // Receiver side torn down mid-burst: the per-packet
+                    // path would count these unreachable too.
+                    self.inner
+                        .stats
+                        .dropped_unreachable
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.inner.tel.dropped_unreachable.add(n as u64);
+                    self.inner.tel.pkts_dropped.add(n as u64);
+                }
+            }
+        }
+        if delivered > 0 {
+            self.inner
+                .stats
+                .delivered
+                .fetch_add(delivered, Ordering::Relaxed);
+            self.inner.tel.delivered.add(delivered);
+        }
+        for (addr, nf) in wake {
+            nf(addr);
+        }
     }
 
     /// The post-adversary tail of [`transmit`](Fabric::transmit): delay
@@ -700,6 +904,18 @@ fn precise_wait_until(deadline: Instant) {
     }
 }
 
+/// One packet of a burst queued through [`Endpoint::send_burst`]:
+/// `header` ++ `payload` bound for `dst`, exactly the shape of one
+/// [`Endpoint::send_sg`] call.
+pub struct SgSend {
+    /// Destination endpoint address.
+    pub dst: Addr,
+    /// Contiguous header bytes (sent first).
+    pub header: Bytes,
+    /// Scatter-gather payload chained after the header.
+    pub payload: SgBytes,
+}
+
 /// A bound wire endpoint: the raw "NIC queue" interface. Upper layers
 /// (datagram/stream conduits) build services on top of this.
 pub struct Endpoint {
@@ -739,6 +955,30 @@ impl Endpoint {
     pub fn send_sg(&self, dst: Addr, header: Bytes, payload: SgBytes) -> NetResult<()> {
         self.fabric
             .transmit(WirePacket::sg(self.addr, dst, header, payload))
+    }
+
+    /// Sends a burst of scatter-gather wire packets through one fabric
+    /// lock round ([`Fabric::transmit_burst`]): per-packet loss/fault
+    /// semantics are byte-identical to calling [`send_sg`] N times under
+    /// the same seed, but the shared TX state is locked and the shared
+    /// counters updated once per burst.
+    ///
+    /// [`send_sg`]: Endpoint::send_sg
+    pub fn send_burst(&self, sends: Vec<SgSend>) -> NetResult<()> {
+        self.fabric.transmit_burst(
+            sends
+                .into_iter()
+                .map(|s| WirePacket::sg(self.addr, s.dst, s.header, s.payload))
+                .collect(),
+        )
+    }
+
+    /// Receives up to `max` wire packets under one receive-queue lock,
+    /// blocking at most `timeout` (`None` = don't block) for the first.
+    /// Returns an empty vector when nothing arrives in time.
+    #[must_use]
+    pub fn recv_burst(&self, max: usize, timeout: Option<Duration>) -> Vec<WirePacket> {
+        self.rx.recv_batch(max, timeout)
     }
 
     /// Receives the next wire packet, blocking at most `timeout`

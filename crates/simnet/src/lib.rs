@@ -42,7 +42,7 @@ pub mod wire;
 pub use chaos::{ChaosSnapshot, FaultEvent, FaultKind, FaultPlan, PartitionWindow};
 pub use dgram::DgramConduit;
 pub use error::{NetError, NetResult};
-pub use fabric::{Fabric, RxNotify};
+pub use fabric::{Fabric, RxNotify, SgSend};
 pub use loss::LossModel;
 pub use rdgram::RdConduit;
 pub use stream::{StreamConduit, StreamListener};

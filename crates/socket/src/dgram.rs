@@ -27,7 +27,8 @@ use simnet::Addr;
 
 use iwarp::wr::RecvWr;
 use iwarp::{
-    Access, Cq, Cqe, CqeOpcode, CqeStatus, IwarpError, IwarpResult, MemoryRegion, UdDest, UdQp,
+    Access, Cq, Cqe, CqeOpcode, CqeStatus, IwarpError, IwarpResult, MemoryRegion, SendWr, UdDest,
+    UdQp,
 };
 
 use crate::control::Control;
@@ -269,6 +270,82 @@ impl DgramSocket {
         Ok(())
     }
 
+    /// `sendmmsg` analog: transmits a batch of datagrams with one verbs
+    /// doorbell. In SendRecv mode the batch maps to
+    /// [`UdQp::post_send_batch`] — under
+    /// [`BurstPath::Burst`](iwarp_common::burstpath::BurstPath::Burst)
+    /// the whole batch leaves as one fabric burst per destination — and
+    /// the immediate source-side completions are reaped with batched
+    /// [`Cq::poll_into`] rounds. Write-Record mode keeps its stateful
+    /// per-peer ring placement and loops [`Self::send_to`]. Returns the
+    /// number of datagrams sent.
+    pub fn send_many(&self, msgs: &[(&[u8], Addr)]) -> IwarpResult<usize> {
+        if msgs.is_empty() {
+            return Ok(0);
+        }
+        let inner = &self.inner;
+        if inner.stack.cfg.mode == DgramMode::WriteRecord {
+            for (buf, dst) in msgs {
+                self.send_to(buf, *dst)?;
+            }
+            return Ok(msgs.len());
+        }
+        let wrs: Vec<SendWr> = msgs
+            .iter()
+            .map(|(buf, dst)| SendWr::new(0, *buf, UdDest { addr: *dst, qpn: 0 }))
+            .collect();
+        inner.qp.post_send_batch(&wrs)?;
+        inner.tel.tx_msgs.add(wrs.len() as u64);
+        // Source-side completions are immediate (datagram semantics);
+        // reap them in scratch-buffer loads so the CQ never overflows.
+        let mut scratch = vec![Cqe::default(); wrs.len().min(64)];
+        while inner.send_cq.poll_into(&mut scratch) == scratch.len() {}
+        Ok(msgs.len())
+    }
+
+    /// `recvmmsg` analog: appends up to `max` ready datagrams to `out` as
+    /// `(payload, source)` pairs and returns how many were added. Like
+    /// [`Self::recv_from`] this waits up to `timeout`, but only when
+    /// *nothing* is deliverable — one completed datagram returns
+    /// immediately with whatever else drained alongside it.
+    pub fn recv_many(
+        &self,
+        out: &mut Vec<(Bytes, Addr)>,
+        max: usize,
+        timeout: Duration,
+    ) -> IwarpResult<usize> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump_batch(max)?;
+            let mut n = 0;
+            {
+                let mut st = self.inner.state.lock();
+                while n < max {
+                    match st.ready.pop_front() {
+                        Some((src, data)) => {
+                            out.push((data, src));
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if n > 0 {
+                return Ok(n);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(IwarpError::PollTimeout);
+            }
+            // Block for the first arrival, then loop to batch-drain
+            // whatever came with it.
+            self.pump(deadline - now)?;
+        }
+    }
+
     /// Receives one datagram into `buf`, returning the byte count and the
     /// sender's address. Timeout-based, as datagram-iWARP requires.
     pub fn recv_from(&self, buf: &mut [u8], timeout: Duration) -> IwarpResult<(usize, Addr)> {
@@ -369,6 +446,46 @@ impl DgramSocket {
             Err(e) => return Err(e),
         };
         self.on_cqe(cqe)
+    }
+
+    /// Non-blocking batch pump: drives the poll-mode engine with a burst
+    /// budget, then reaps the receive CQ in scratch-buffer loads (one CQ
+    /// lock round per load instead of one per completion).
+    ///
+    /// Each engine drain is capped at the recv-slot ring depth: slots are
+    /// only reposted by `on_cqe` below, so a single drain larger than the
+    /// ring would land the overflow on an empty RQ and drop it
+    /// (`dropped_no_rq`) — something the per-packet path, which reposts
+    /// after every datagram, never does.
+    fn pump_batch(&self, budget: usize) -> IwarpResult<()> {
+        let inner = &self.inner;
+        let budget = budget.max(1);
+        let mut scratch = vec![Cqe::default(); budget.min(64)];
+        let mut remaining = budget;
+        loop {
+            if inner.stack.cfg.qp.poll_mode {
+                let chunk = remaining.min(inner.slots.max(1));
+                inner.qp.progress_burst(chunk, Duration::ZERO);
+            }
+            let mut reaped = 0usize;
+            loop {
+                let n = inner.recv_cq.poll_into(&mut scratch);
+                for cqe in &scratch[..n] {
+                    self.on_cqe(cqe.clone())?;
+                }
+                reaped += n;
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            if !inner.stack.cfg.qp.poll_mode || reaped == 0 {
+                return Ok(());
+            }
+            remaining = remaining.saturating_sub(reaped);
+            if remaining == 0 {
+                return Ok(());
+            }
+        }
     }
 
     fn on_cqe(&self, cqe: Cqe) -> IwarpResult<()> {

@@ -25,11 +25,19 @@ if grep -rn "from_entropy" crates src tests examples 2>/dev/null; then
     exit 1
 fi
 
-echo "==> chaos smoke: 25 seeded adversarial plans, invariant-checked"
+echo "==> chaos smoke: 25 seeded adversarial plans, both batching paths"
 # Deterministic: a failure prints the plan seed; reproduce it with
-#   cargo run --release -p iwarp-bench --bin chaos -- --replay <seed>
+#   cargo run --release -p iwarp-bench --bin chaos -- --replay <seed> [--burst-path burst]
 # Nightly soak: cargo test --release --test chaos -- --include-ignored
-cargo run --release -p iwarp-bench --bin chaos -- --plans 25
+for bpath in per-packet burst; do
+    cargo run --release -p iwarp-bench --bin chaos -- --plans 25 --burst-path "$bpath"
+done
+
+echo "==> burst smoke: batched-verbs datapath A/B at the acceptance cell"
+# Fails unless burst-32 x 64 B beats per-packet >= 2x msgs/s with >= 4x
+# fewer fabric lock rounds per message. The committed BENCH_PR5.json is
+# the full sweep; the smoke result goes to target/ so it never clobbers it.
+cargo run --release -p iwarp-bench --bin burst -- --smoke --out target/burst_smoke.json
 
 echo "==> scale smoke: 256 SIP calls, 2 shards, event-driven completions"
 # Bounded concurrency-scaling run (legacy baseline + sharded/event mode);

@@ -90,6 +90,30 @@ impl<T> Sender<T> {
         self.chan.ready.notify_one();
         Ok(())
     }
+
+    /// Enqueues every value in `batch` under a single queue lock, waking
+    /// receivers once. Returns how many values were enqueued (0 when all
+    /// receivers are gone). Shim extension for the burst datapath — not
+    /// part of the real crossbeam API.
+    pub fn send_batch(&self, batch: impl IntoIterator<Item = T>) -> usize {
+        if self.chan.receivers.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let n = {
+            let mut q = self.chan.lock();
+            let before = q.len();
+            q.extend(batch);
+            q.len() - before
+        };
+        if n > 0 {
+            if n == 1 {
+                self.chan.ready.notify_one();
+            } else {
+                self.chan.ready.notify_all();
+            }
+        }
+        n
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -170,6 +194,53 @@ impl<T> Receiver<T> {
             return Err(TryRecvError::Disconnected);
         }
         Err(TryRecvError::Empty)
+    }
+
+    /// Dequeues up to `max` messages under a single queue lock, blocking
+    /// up to `timeout` (`None` = don't block) for the first. Returns an
+    /// empty vector on timeout or disconnect. Shim extension for the
+    /// burst datapath — not part of the real crossbeam API.
+    pub fn recv_batch(&self, max: usize, timeout: Option<Duration>) -> Vec<T> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        let mut q = self.chan.lock();
+        while out.len() < max {
+            match q.pop_front() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            let Some(timeout) = timeout else { return out };
+            let deadline = Instant::now() + timeout;
+            loop {
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return out;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return out;
+                }
+                let (guard, _) = self
+                    .chan
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+                while out.len() < max {
+                    match q.pop_front() {
+                        Some(v) => out.push(v),
+                        None => break,
+                    }
+                }
+                if !out.is_empty() {
+                    return out;
+                }
+            }
+        }
+        out
     }
 
     /// Number of messages currently queued.

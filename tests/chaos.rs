@@ -21,7 +21,7 @@ fn small_opts() -> ChaosOpts {
         write_msgs: 4,
         read_msgs: 2,
         dgrams: 16,
-        forensic: false,
+        ..ChaosOpts::default()
     }
 }
 
