@@ -56,10 +56,17 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or(format!("--burst-path takes 'per-packet' or 'burst', got {spec:?}"))?;
                 iwarp_common::burstpath::set_default(path);
             }
+            "--cc" => {
+                let spec = grab("--cc")?;
+                let algo = iwarp_common::ccalgo::CcAlgo::parse(&spec)
+                    .ok_or(format!("--cc takes 'fixed', 'newreno' or 'cubic', got {spec:?}"))?;
+                iwarp_common::ccalgo::set_default(algo);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: chaos [--plans N] [--seed MASTER] [--msgs N] [--dgrams N] \
-                     [--verbose] [--burst-path {{per-packet,burst}}] | --replay SEED"
+                     [--verbose] [--burst-path {{per-packet,burst}}] \
+                     [--cc {{fixed,newreno,cubic}}] | --replay SEED"
                 );
                 std::process::exit(0);
             }
@@ -129,16 +136,21 @@ fn main() -> ExitCode {
         if report.ok() {
             if args.verbose {
                 println!(
-                    "plan {i:>3} seed={seed:#018x} ok — faults: {} verbs / {} socket, \
-                     recv {}+{}exp, wr {} ({} full/{} part), crc_rej {}",
+                    "plan {i:>3} seed={seed:#018x} ok — faults: {} verbs / {} socket / \
+                     {} reliable, recv {}+{}exp, wr {} ({} full/{} part), crc_rej {}, \
+                     reliable {}B+{}msgs under {}",
                     report.fault_trace.len(),
                     report.socket_fault_trace.len(),
+                    report.reliable_fault_trace.len(),
                     report.verbs.recv_success,
                     report.verbs.recv_expired,
                     report.verbs.write_cqes,
                     report.verbs.write_success,
                     report.verbs.write_partial,
                     report.verbs.crc_errors,
+                    report.reliable.stream_bytes,
+                    report.reliable.rd_msgs,
+                    iwarp_common::ccalgo::default_algo(),
                 );
             }
         } else {

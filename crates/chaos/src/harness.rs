@@ -17,10 +17,16 @@ use bytes::Bytes;
 use iwarp::wr::RecvWr;
 use iwarp::{Access, Cq, Cqe, CqeOpcode, CqeStatus, Device, QpConfig, UdQp};
 use iwarp_common::burstpath::BurstPath;
+use iwarp_common::ccalgo::{self, CcAlgo};
 use iwarp_common::copypath::CopyPath;
 use iwarp_common::rng::{derive_seed, mix64};
 use iwarp_socket::{SocketConfig, SocketStack};
-use simnet::{Fabric, FaultEvent, FaultPlan, NodeId, WireConfig};
+use simnet::rdgram::RdConfig;
+use simnet::stream::StreamConfig;
+use simnet::{
+    Addr, Fabric, FaultEvent, FaultPlan, NodeId, RdConduit, StreamConduit, StreamListener,
+    WireConfig,
+};
 
 use crate::invariants::{
     check_conservation, check_cq_discipline, check_datagram_boundaries, check_recv_accounting,
@@ -64,6 +70,11 @@ pub struct ChaosOpts {
     /// adversary is oblivious to it, so a plan's fault trace and verdict
     /// must be byte-identical either way (see `tests/determinism.rs`).
     pub burst_path: BurstPath,
+    /// Congestion-control algorithm the reliable phase's stream and
+    /// rdgram conduits run under. The verbs and socket phases never touch
+    /// the reliable transports, so their fault traces are byte-identical
+    /// across every `CcAlgo` value (see `tests/recovery.rs`).
+    pub cc: CcAlgo,
 }
 
 impl Default for ChaosOpts {
@@ -75,6 +86,7 @@ impl Default for ChaosOpts {
             dgrams: 30,
             forensic: false,
             burst_path: iwarp_common::burstpath::default_path(),
+            cc: ccalgo::default_algo(),
         }
     }
 }
@@ -112,6 +124,15 @@ pub struct SocketSummary {
     pub received: usize,
 }
 
+/// Reliable-phase outcome counts (stream + rdgram under the adversary).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReliableSummary {
+    /// Stream bytes verified exact, both directions combined.
+    pub stream_bytes: usize,
+    /// Reliable-datagram messages verified in order and intact.
+    pub rd_msgs: usize,
+}
+
 /// Everything one plan run produced: the verdict plus the evidence
 /// needed to reproduce and diagnose it.
 #[derive(Clone, Debug)]
@@ -126,10 +147,16 @@ pub struct PlanReport {
     pub fault_trace: Vec<FaultEvent>,
     /// Socket-phase fault trace (deterministic per seed).
     pub socket_fault_trace: Vec<FaultEvent>,
+    /// Reliable-phase fault trace. Diagnostic only: retransmission timing
+    /// is wall-clock, so unlike the verbs/socket traces the reliable
+    /// packet schedule is not replay-stable.
+    pub reliable_fault_trace: Vec<FaultEvent>,
     /// Verbs-phase outcome counts.
     pub verbs: VerbsSummary,
     /// Socket-phase outcome counts.
     pub socket: SocketSummary,
+    /// Reliable-phase outcome counts.
+    pub reliable: ReliableSummary,
     /// Telemetry forensics, when [`ChaosOpts::forensic`] was set.
     pub forensic: Option<String>,
 }
@@ -158,9 +185,10 @@ impl PlanReport {
         }
         let _ = writeln!(
             s,
-            "fault trace ({} verbs events, {} socket events):",
+            "fault trace ({} verbs events, {} socket events, {} reliable events):",
             self.fault_trace.len(),
-            self.socket_fault_trace.len()
+            self.socket_fault_trace.len(),
+            self.reliable_fault_trace.len()
         );
         for e in &self.fault_trace {
             let _ = writeln!(s, "  [verbs]  {e}");
@@ -592,14 +620,163 @@ pub fn run_plan(seed: u64, opts: &ChaosOpts) -> PlanReport {
         )
     };
 
+    // ---- Reliable phase --------------------------------------------
+    // Streams and reliable datagrams under the adversary: loss,
+    // duplication and reordering must be fully absorbed by retransmission
+    // — delivery is exact and in order, or the plan fails. Corruption and
+    // truncation stages are disabled (these framings carry no CRC;
+    // integrity under bit errors is the verbs phase's job), and the
+    // conduits run under the configured congestion-control algorithm.
+    let (reliable, reliable_fault_trace) = {
+        let rfab = Fabric::new(WireConfig::default());
+        let mut rplan = FaultPlan::from_seed(derive_seed(seed, 6));
+        rplan.corrupt = 0.0;
+        rplan.truncate = 0.0;
+        rfab.install_fault_plan(rplan);
+        let mut summary = ReliableSummary::default();
+
+        // Byte stream, both directions concurrently.
+        // Partition windows are counted in per-link *packets*, and
+        // selective repeat burns through them one head retransmission per
+        // RTO — so cap the backoff low (the simulated wire RTT is sub-ms)
+        // and budget retries above the longest partition a plan can draw
+        // (44 packets), else a mid-burst partition stalls or resets the
+        // conduit instead of being absorbed.
+        let scfg = StreamConfig {
+            rto_initial: Duration::from_millis(5),
+            rto_max: Duration::from_millis(30),
+            max_retries: 64,
+            cc: opts.cc,
+            ..StreamConfig::default()
+        };
+        let c2s = msg_bytes(derive_seed(seed, 500), 24 * 1024);
+        let s2c = msg_bytes(derive_seed(seed, 501), 16 * 1024);
+        let listener = StreamListener::bind(&rfab, Addr::new(1, 700), scfg.clone())
+            .expect("bind reliable listener");
+        let mut stream_results: Vec<(&str, Result<(), String>)> = Vec::new();
+        std::thread::scope(|sc| {
+            let srv = sc.spawn(|| -> Result<(), String> {
+                let server = listener
+                    .accept(Some(Duration::from_secs(10)))
+                    .map_err(|e| format!("accept: {e}"))?;
+                let mut got = vec![0u8; c2s.len()];
+                server
+                    .read_exact(&mut got, Some(Duration::from_secs(20)))
+                    .map_err(|e| format!("server read: {e}"))?;
+                if got != c2s {
+                    return Err("client->server stream bytes differ".into());
+                }
+                server.write_all(&s2c).map_err(|e| format!("server write: {e}"))?;
+                // Hold the conduit open until the client has read
+                // everything (its FIN lands as our EOF); dropping early
+                // would stop retransmitting unacked tail segments.
+                let mut eof = [0u8; 1];
+                let _ = server.read(&mut eof, Some(Duration::from_secs(10)));
+                Ok(())
+            });
+            let cli = sc.spawn(|| -> Result<(), String> {
+                let client = StreamConduit::connect(&rfab, NodeId(0), Addr::new(1, 700), scfg.clone())
+                    .map_err(|e| format!("connect: {e}"))?;
+                client.write_all(&c2s).map_err(|e| format!("client write: {e}"))?;
+                let mut got = vec![0u8; s2c.len()];
+                client
+                    .read_exact(&mut got, Some(Duration::from_secs(20)))
+                    .map_err(|e| format!("client read: {e}"))?;
+                if got != s2c {
+                    return Err("server->client stream bytes differ".into());
+                }
+                client.close();
+                Ok(())
+            });
+            stream_results
+                .push(("server", srv.join().unwrap_or_else(|_| Err("thread panicked".into()))));
+            stream_results
+                .push(("client", cli.join().unwrap_or_else(|_| Err("thread panicked".into()))));
+        });
+        let mut stream_ok = true;
+        for (side, r) in stream_results {
+            if let Err(d) = r {
+                stream_ok = false;
+                violations.push(Violation {
+                    invariant: "reliable-stream",
+                    detail: format!("[{}] {side}: {d}", opts.cc),
+                });
+            }
+        }
+        if stream_ok {
+            summary.stream_bytes = c2s.len() + s2c.len();
+        }
+
+        // Reliable datagrams: every message arrives exactly once, intact,
+        // in send order.
+        let rd_msgs = 64usize;
+        let rcfg = RdConfig {
+            window: 32,
+            rto: Duration::from_millis(5),
+            max_rto: Duration::from_millis(30),
+            cc: opts.cc,
+            ..RdConfig::default()
+        };
+        let ra = RdConduit::bind(&rfab, Addr::new(2, 701), rcfg.clone()).expect("bind rd tx");
+        let rb = RdConduit::bind(&rfab, Addr::new(3, 701), rcfg).expect("bind rd rx");
+        let msgs: Vec<Vec<u8>> = (0..rd_msgs)
+            .map(|i| msg_bytes(derive_seed(seed, 600 + i as u64), 64 + (i * 37) % 1800))
+            .collect();
+        let mut rd_result: Result<usize, String> = Ok(0);
+        std::thread::scope(|sc| {
+            let rx = sc.spawn(|| -> Result<usize, String> {
+                for (i, want) in msgs.iter().enumerate() {
+                    let (_, d) = rb
+                        .recv_from(Some(Duration::from_secs(20)))
+                        .map_err(|e| format!("rd recv {i}: {e}"))?;
+                    if d[..] != want[..] {
+                        return Err(format!("rd message {i} reordered or corrupted"));
+                    }
+                }
+                Ok(msgs.len())
+            });
+            for (i, m) in msgs.iter().enumerate() {
+                if let Err(e) = ra.send_to(rb.local_addr(), Bytes::from(m.clone())) {
+                    rd_result = Err(format!("rd send {i}: {e}"));
+                    break;
+                }
+            }
+            if rd_result.is_ok() {
+                if let Err(e) = ra.flush(Duration::from_secs(20)) {
+                    rd_result = Err(format!("rd flush: {e}"));
+                }
+            }
+            let recv_result = rx
+                .join()
+                .unwrap_or_else(|_| Err("rd rx thread panicked".into()));
+            if rd_result.is_ok() {
+                rd_result = recv_result;
+            }
+        });
+        match rd_result {
+            Ok(n) => summary.rd_msgs = n,
+            Err(d) => violations.push(Violation {
+                invariant: "reliable-rdgram",
+                detail: format!("[{}] {d}", opts.cc),
+            }),
+        }
+
+        rfab.chaos_flush();
+        drop((ra, rb, listener));
+        violations.extend(check_conservation(&rfab));
+        (summary, rfab.fault_trace())
+    };
+
     PlanReport {
         seed,
         plan,
         violations,
         fault_trace,
         socket_fault_trace,
+        reliable_fault_trace,
         verbs,
         socket,
+        reliable,
         forensic,
     }
 }

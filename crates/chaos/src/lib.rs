@@ -18,14 +18,20 @@
 //!   socket datagram-boundary preservation.
 //! * [`harness`] drives the full verbs + socket stack under one seeded
 //!   plan ([`run_plan`]) or a sweep ([`run_sweep`]), deterministically:
-//!   same seed → same fault trace → same verdict.
+//!   same seed → same fault trace → same verdict. A reliable phase
+//!   additionally runs the stream and rdgram transports (under the
+//!   configured congestion-control algorithm) through a CRC-safe subset
+//!   of the adversary and demands exact, in-order delivery.
 
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod invariants;
 
-pub use harness::{run_plan, run_sweep, ChaosOpts, PlanReport, SocketSummary, VerbsSummary, SENTINEL};
+pub use harness::{
+    run_plan, run_sweep, ChaosOpts, PlanReport, ReliableSummary, SocketSummary, VerbsSummary,
+    SENTINEL,
+};
 pub use invariants::{
     check_conservation, check_cq_discipline, check_datagram_boundaries, check_recv_accounting,
     check_window_contents, check_write_record_cqes, Violation, WriteWindow,

@@ -32,10 +32,16 @@
 //!   one packet per call ([`burstpath::BurstPath::PerPacket`]) or batch
 //!   vectors of packets per fabric/CQ lock round
 //!   ([`burstpath::BurstPath::Burst`]), so benches can A/B the two.
+//! * [`ccalgo`] — the analogous default for which congestion-control
+//!   algorithm the reliable paths run ([`ccalgo::CcAlgo::Fixed`] legacy
+//!   fixed-window baseline, [`ccalgo::CcAlgo::NewReno`] or
+//!   [`ccalgo::CcAlgo::Cubic`] adaptive recovery from `iwarp-cc`), so the
+//!   recovery bench and chaos harness can sweep the algorithms.
 
 #![warn(missing_docs)]
 
 pub mod burstpath;
+pub mod ccalgo;
 pub mod copypath;
 pub mod notifypath;
 pub mod crc32;

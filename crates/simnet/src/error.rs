@@ -13,6 +13,11 @@ pub enum NetError {
     Timeout,
     /// The peer closed the connection / the endpoint was shut down.
     Closed,
+    /// The connection was reset because a message exhausted its
+    /// retransmission budget: the peer is presumed dead or the path
+    /// unusable. Surfaced instead of retransmitting silently forever
+    /// (the reliable paths cap retries via `iwarp-cc`).
+    Reset,
     /// Payload exceeds the service's maximum transfer size.
     TooBig {
         /// Requested payload length.
@@ -33,6 +38,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::Timeout => write!(f, "operation timed out"),
             NetError::Closed => write!(f, "endpoint closed"),
+            NetError::Reset => write!(f, "connection reset: retransmission budget exhausted"),
             NetError::TooBig { len, max } => {
                 write!(f, "payload of {len} bytes exceeds maximum of {max}")
             }

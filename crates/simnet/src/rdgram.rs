@@ -11,12 +11,22 @@
 //! It layers on [`DgramConduit`], so a single "RD message" still enjoys the
 //! all-or-nothing fragmentation semantics of the datagram service — the RD
 //! layer then recovers whole lost messages rather than fragments.
+//!
+//! Loss recovery is delegated to [`iwarp_cc::RecoveryEngine`] (one per
+//! peer): the engine owns the selective-repeat scoreboard, the RFC-6298
+//! RTT estimator behind the retransmission timer, and the congestion
+//! window. With the default [`CcAlgo::Fixed`] the conduit behaves like
+//! the legacy implementation — fixed window, fixed timer, timer-driven
+//! recovery only; `newreno`/`cubic` add SACK-gap fast retransmit and an
+//! adaptive window on top of the same wire format.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
+use iwarp_cc::{RecoveryConfig, RecoveryEngine};
+use iwarp_common::ccalgo::{self, CcAlgo};
 use iwarp_telemetry::{Counter, EndpointId, EventKind, Telemetry};
 use parking_lot::{Condvar, Mutex};
 
@@ -28,37 +38,120 @@ use crate::wire::{Addr, NodeId};
 const TYPE_DATA: u8 = 0;
 const TYPE_ACK: u8 = 1;
 
-/// RD header: type(1) + seq(8). ACKs carry cum(8) + bitmap(8) instead.
+/// RD header: type(1) + seq(8). ACKs carry cum(8) + word-count(1) + a
+/// variable-width SACK bitmap (`word-count` big-endian u64 words)
+/// instead.
 const DATA_HEADER: usize = 9;
 
-/// Hard cap on retransmissions of one message. Generous because a large
-/// RD message rides one fragmented datagram: at 5% wire loss a 64 KiB
-/// datagram (≈44 fragments) survives only ~10% of attempts, so tens of
-/// retransmissions are routine, not pathological.
-const MAX_RETRIES: u32 = 150;
+/// Fixed prefix of an ACK frame: type(1) + cum(8) + word-count(1).
+const ACK_PREFIX: usize = 10;
 
 /// Configuration of a reliable-datagram endpoint.
 #[derive(Clone, Debug)]
 pub struct RdConfig {
-    /// Maximum unacknowledged messages per peer.
+    /// Maximum unacknowledged *span* per peer: `next_seq - oldest_unacked`
+    /// never exceeds this, which keeps every outstanding sequence inside
+    /// the peer's SACK-bitmap horizon.
     pub window: usize,
-    /// Retransmission timeout.
+    /// SACK bitmap width in u64 words, or `None` to derive the minimum
+    /// covering `window` (`ceil(window / 64)`). Explicit values narrower
+    /// than the window are rejected at bind time — a sender could
+    /// otherwise outrun what the ACKs can describe.
+    pub sack_words: Option<usize>,
+    /// Initial retransmission timeout. Under [`CcAlgo::Fixed`] this is
+    /// the constant timer (legacy behavior); otherwise the RFC-6298
+    /// estimator adapts from here.
     pub rto: Duration,
+    /// RTO floor for the adaptive estimator (ignored under `Fixed`).
+    pub min_rto: Duration,
+    /// RTO ceiling / backoff cap for the adaptive estimator (ignored
+    /// under `Fixed`).
+    pub max_rto: Duration,
+    /// Retransmissions allowed per message before the conduit declares
+    /// the peer dead and surfaces [`NetError::Reset`]. Generous because
+    /// a large RD message rides one fragmented datagram: at 5% wire loss
+    /// a 64 KiB datagram (≈44 fragments) survives only ~10% of attempts,
+    /// so tens of retransmissions are routine, not pathological.
+    pub max_retries: u32,
+    /// Congestion-control algorithm (defaults to the process-wide
+    /// [`ccalgo::default_algo`], normally `Fixed`).
+    pub cc: CcAlgo,
+    /// Spread sends over the smoothed RTT instead of bursting the whole
+    /// window (adaptive algorithms only).
+    pub paced: bool,
 }
 
 impl Default for RdConfig {
     fn default() -> Self {
         Self {
             window: 64,
+            sack_words: None,
             rto: Duration::from_millis(20),
+            min_rto: Duration::from_millis(2),
+            max_rto: Duration::from_secs(1),
+            max_retries: 150,
+            cc: ccalgo::default_algo(),
+            paced: false,
+        }
+    }
+}
+
+impl RdConfig {
+    /// Resolves the SACK bitmap width in words, validating that the
+    /// config is self-consistent (the bitmap must cover the window, and
+    /// both must fit the wire format).
+    pub fn resolve_sack_words(&self) -> NetResult<usize> {
+        if self.window == 0 {
+            return Err(NetError::Protocol("rd window must be at least 1"));
+        }
+        let derived = self.window.div_ceil(64);
+        let words = match self.sack_words {
+            None => derived,
+            Some(0) => return Err(NetError::Protocol("rd sack bitmap must be at least 1 word")),
+            Some(w) if w * 64 < self.window => {
+                return Err(NetError::Protocol(
+                    "rd sack bitmap narrower than window: unacked messages would fall outside \
+                     what ACKs can describe",
+                ))
+            }
+            Some(w) => w,
+        };
+        if words > 255 {
+            return Err(NetError::Protocol(
+                "rd sack bitmap exceeds wire format (255 words / 16320 seqs)",
+            ));
+        }
+        Ok(words)
+    }
+
+    fn recovery_config(&self) -> RecoveryConfig {
+        let fixed = self.cc == CcAlgo::Fixed;
+        RecoveryConfig {
+            algo: self.cc,
+            quantum: 1,
+            init_cwnd: if fixed { self.window as u64 } else { 4 },
+            fixed_window: self.window as u64,
+            bdp_cap: self.window as u64,
+            initial_rto: self.rto,
+            // Fixed keeps the legacy constant timer; adaptive algorithms
+            // get the full RFC-6298 treatment.
+            min_rto: if fixed { self.rto } else { self.min_rto },
+            max_rto: if fixed { self.rto } else { self.max_rto },
+            backoff: !fixed,
+            max_retries: self.max_retries,
+            dup_threshold: 3,
+            rtx_queue_cap: self.window.max(64),
+            paced: self.paced,
         }
     }
 }
 
 struct PeerTx {
-    next_seq: u64,
-    /// seq → (payload, last transmission time, retries).
-    unacked: BTreeMap<u64, (Bytes, Instant, u32)>,
+    engine: RecoveryEngine,
+    /// seq → payload for everything the engine may still ask us to
+    /// retransmit. Entries drop as soon as the peer holds the message
+    /// (cumulative or selective ACK).
+    payloads: BTreeMap<u64, Bytes>,
 }
 
 struct PeerRx {
@@ -86,6 +179,15 @@ struct RdTel {
 struct Inner {
     dg: DgramConduit,
     cfg: RdConfig,
+    /// Resolved SACK bitmap width (validated at bind).
+    sack_words: usize,
+    /// `sack_words * 64`: how far past `rcv_nxt` the receiver will hold
+    /// out-of-order messages (anything farther is undescribable in an
+    /// ACK, so it is dropped and recovered by retransmission).
+    horizon: u64,
+    /// SACK-gap fast retransmit + adaptive window are only active off
+    /// the `Fixed` baseline.
+    adaptive: bool,
     st: Mutex<St>,
     readable: Condvar,
     writable: Condvar,
@@ -103,16 +205,35 @@ impl Inner {
 
     fn send_ack(&self, dst: Addr, st: &St) {
         let Some(rx) = st.rx.get(&dst) else { return };
-        let mut bitmap = 0u64;
-        for (&seq, _) in rx.ooo.range(rx.rcv_nxt..rx.rcv_nxt + 64) {
-            bitmap |= 1 << (seq - rx.rcv_nxt);
+        let mut bitmap = vec![0u64; self.sack_words];
+        for (&seq, _) in rx.ooo.range(rx.rcv_nxt..rx.rcv_nxt + self.horizon) {
+            let d = (seq - rx.rcv_nxt) as usize;
+            bitmap[d / 64] |= 1 << (d % 64);
         }
-        let mut b = BytesMut::with_capacity(17);
+        let mut b = BytesMut::with_capacity(ACK_PREFIX + 8 * self.sack_words);
         b.put_u8(TYPE_ACK);
         b.put_u64(rx.rcv_nxt);
-        b.put_u64(bitmap);
+        b.put_u8(self.sack_words as u8);
+        for word in bitmap {
+            b.put_u64(word);
+        }
         self.tel.acks_tx.inc();
         let _ = self.dg.send_to(dst, b.freeze());
+    }
+
+    fn retransmit(&self, dst: Addr, seq: u64, payload: &Bytes) {
+        self.tel.retransmits.inc();
+        if self.tel.tel.tracer().armed() {
+            let local = self.dg.local_addr();
+            self.tel.tel.tracer().record(
+                self.tel.tel.now_nanos(),
+                EndpointId::new(local.node.0, local.port),
+                EventKind::Retransmit,
+                payload.len() as u64,
+                seq,
+            );
+        }
+        self.send_data(dst, seq, payload);
     }
 
     fn on_datagram(&self, st: &mut St, src: Addr, data: &Bytes) {
@@ -139,68 +260,100 @@ impl Inner {
                         self.tel.rx_msgs.inc();
                     }
                     self.readable.notify_all();
-                } else if seq > rx.rcv_nxt {
+                } else if seq > rx.rcv_nxt && seq < rx.rcv_nxt + self.horizon {
+                    // Inside the SACK horizon: hold for reordering. Beyond
+                    // it an ACK couldn't describe the message, so drop and
+                    // let retransmission recover it (a conforming sender's
+                    // window never reaches this far anyway).
                     rx.ooo.entry(seq).or_insert(payload);
                 }
                 // Duplicates (seq < rcv_nxt) are dropped; always re-ACK so
                 // the sender learns our state.
                 self.send_ack(src, st);
             }
-            TYPE_ACK if data.len() >= 17 => {
+            TYPE_ACK if data.len() >= ACK_PREFIX => {
                 let cum = u64::from_be_bytes(data[1..9].try_into().expect("len checked"));
-                let bitmap = u64::from_be_bytes(data[9..17].try_into().expect("len checked"));
-                if let Some(tx) = st.tx.get_mut(&src) {
-                    tx.unacked.retain(|&seq, _| {
-                        if seq < cum {
-                            return false;
-                        }
-                        let d = seq - cum;
-                        !(d < 64 && bitmap & (1 << d) != 0)
-                    });
-                    self.writable.notify_all();
+                let words = usize::from(data[9]);
+                if data.len() < ACK_PREFIX + 8 * words {
+                    return;
                 }
+                let Some(tx) = st.tx.get_mut(&src) else {
+                    return;
+                };
+                let t = tx.engine.now();
+                if cum > tx.engine.una() {
+                    tx.engine.on_cum_ack(t, cum);
+                    // Everything below cum is delivered; forget payloads.
+                    tx.payloads = tx.payloads.split_off(&cum);
+                }
+                for w in 0..words {
+                    let off = ACK_PREFIX + 8 * w;
+                    let word =
+                        u64::from_be_bytes(data[off..off + 8].try_into().expect("len checked"));
+                    if word == 0 {
+                        continue;
+                    }
+                    for bit in 0..64u64 {
+                        if word & (1 << bit) != 0 {
+                            let seq = cum + 64 * w as u64 + bit;
+                            tx.engine.on_sack_seq(t, seq);
+                            tx.payloads.remove(&seq);
+                        }
+                    }
+                }
+                if self.adaptive {
+                    // Each ACK showing data beyond an in-flight message is
+                    // one more hint it was lost; the engine fast-queues it
+                    // at the dup threshold. (The Fixed baseline stays
+                    // timer-driven, like the legacy implementation.)
+                    tx.engine.detect_losses(t);
+                }
+                self.writable.notify_all();
             }
             _ => {}
         }
     }
 
-    fn retransmit_due(&self, st: &mut St) {
-        let now = Instant::now();
+    /// Checks per-peer retransmission timers, drains the retransmit
+    /// queues, and surfaces retry exhaustion as a connection reset.
+    fn sweep_timers(&self, st: &mut St) {
         let mut dead = false;
         for (&peer, tx) in &mut st.tx {
-            for (&seq, entry) in &mut tx.unacked {
-                if now.duration_since(entry.1) >= self.cfg.rto {
-                    entry.1 = now;
-                    entry.2 += 1;
-                    if entry.2 > MAX_RETRIES {
-                        dead = true;
-                        break;
-                    }
-                    let payload = entry.0.clone();
-                    self.tel.retransmits.inc();
-                    if self.tel.tel.tracer().armed() {
-                        let local = self.dg.local_addr();
-                        self.tel.tel.tracer().record(
-                            self.tel.tel.now_nanos(),
-                            EndpointId::new(local.node.0, local.port),
-                            EventKind::Retransmit,
-                            payload.len() as u64,
-                            seq,
-                        );
-                    }
-                    let mut b = BytesMut::with_capacity(DATA_HEADER + payload.len());
-                    b.put_u8(TYPE_DATA);
-                    b.put_u64(seq);
-                    b.extend_from_slice(&payload);
-                    let _ = self.dg.send_to(peer, b.freeze());
+            let t = tx.engine.now();
+            let ev = tx.engine.sweep(t);
+            if ev.dead {
+                dead = true;
+                break;
+            }
+            while let Some((seq, _len)) = tx.engine.pop_rtx(t) {
+                if let Some(payload) = tx.payloads.get(&seq) {
+                    let payload = payload.clone();
+                    self.retransmit(peer, seq, &payload);
                 }
+            }
+            if tx.engine.is_dead() {
+                dead = true;
+                break;
             }
         }
         if dead {
-            st.err = Some(NetError::Timeout);
+            st.err = Some(NetError::Reset);
             self.readable.notify_all();
             self.writable.notify_all();
         }
+    }
+
+    /// How long the IO thread may sleep in `recv_from` before a timer
+    /// could be due.
+    fn next_deadline_in(&self, st: &St) -> Duration {
+        const IDLE: Duration = Duration::from_millis(5);
+        let mut wait = IDLE;
+        for tx in st.tx.values() {
+            if let Some(d) = tx.engine.rto_deadline() {
+                wait = wait.min(d.saturating_sub(tx.engine.now()));
+            }
+        }
+        wait.max(Duration::from_micros(200))
     }
 }
 
@@ -213,6 +366,10 @@ pub struct RdConduit {
 
 impl RdConduit {
     /// Binds a reliable-datagram conduit at `addr`.
+    ///
+    /// Fails with [`NetError::Protocol`] when the config's window and
+    /// SACK bitmap width are inconsistent (see
+    /// [`RdConfig::resolve_sack_words`]).
     pub fn bind(fabric: &Fabric, addr: Addr, cfg: RdConfig) -> NetResult<Self> {
         Self::wrap(DgramConduit::bind(fabric, addr)?, cfg)
     }
@@ -223,6 +380,7 @@ impl RdConduit {
     }
 
     fn wrap(dg: DgramConduit, cfg: RdConfig) -> NetResult<Self> {
+        let sack_words = cfg.resolve_sack_words()?;
         let t = dg.fabric().telemetry().clone();
         let tel = RdTel {
             tx_msgs: t.counter("simnet.rdgram.tx_msgs"),
@@ -233,6 +391,9 @@ impl RdConduit {
         };
         let inner = Arc::new(Inner {
             dg,
+            sack_words,
+            horizon: sack_words as u64 * 64,
+            adaptive: cfg.cc != CcAlgo::Fixed,
             cfg,
             tel,
             st: Mutex::new(St {
@@ -250,13 +411,14 @@ impl RdConduit {
             .name("rd-io".into())
             .spawn(move || {
                 loop {
-                    {
+                    let wait = {
                         let st = io_inner.st.lock();
                         if st.shutdown {
                             return;
                         }
-                    }
-                    let got = io_inner.dg.recv_from(Some(Duration::from_millis(5)));
+                        io_inner.next_deadline_in(&st)
+                    };
+                    let got = io_inner.dg.recv_from(Some(wait));
                     let mut st = io_inner.st.lock();
                     if st.shutdown {
                         return;
@@ -276,7 +438,7 @@ impl RdConduit {
                             return;
                         }
                     }
-                    io_inner.retransmit_due(&mut st);
+                    io_inner.sweep_timers(&mut st);
                 }
             })
             .expect("spawn rd io thread");
@@ -304,9 +466,10 @@ impl RdConduit {
         self.inner.dg.max_datagram() - DATA_HEADER
     }
 
-    /// Sends `payload` reliably to `dst`; blocks while the per-peer window
-    /// is full. Returns once the message is queued and transmitted (not
-    /// once acknowledged).
+    /// Sends `payload` reliably to `dst`; blocks while the per-peer send
+    /// window (congestion window ∩ configured window) is full. Returns
+    /// once the message is queued and transmitted (not once
+    /// acknowledged).
     pub fn send_to(&self, dst: Addr, payload: Bytes) -> NetResult<()> {
         if payload.len() > self.max_datagram() {
             return Err(NetError::TooBig {
@@ -315,21 +478,26 @@ impl RdConduit {
             });
         }
         let inner = &self.inner;
+        let window = inner.cfg.window as u64;
         let mut st = inner.st.lock();
         loop {
             if let Some(e) = &st.err {
                 return Err(e.clone());
             }
-            let window = inner.cfg.window;
-            let tx = st.tx.entry(dst).or_insert(PeerTx {
-                next_seq: 0,
-                unacked: BTreeMap::new(),
+            let tel = &inner.tel;
+            let tx = st.tx.entry(dst).or_insert_with(|| PeerTx {
+                engine: RecoveryEngine::new(inner.cfg.recovery_config())
+                    .with_telemetry(&tel.tel),
+                payloads: BTreeMap::new(),
             });
-            if tx.unacked.len() < window {
-                let seq = tx.next_seq;
-                tx.next_seq += 1;
-                tx.unacked
-                    .insert(seq, (payload.clone(), Instant::now(), 0));
+            let t = tx.engine.now();
+            if tx.engine.can_send(1, window) {
+                if let Some(hold) = tx.engine.pace_delay(t) {
+                    inner.writable.wait_for(&mut st, hold);
+                    continue;
+                }
+                let seq = tx.engine.on_send(t, 1);
+                tx.payloads.insert(seq, payload.clone());
                 inner.tel.tx_msgs.inc();
                 inner.send_data(dst, seq, &payload);
                 return Ok(());
@@ -370,7 +538,7 @@ impl RdConduit {
         let deadline = Instant::now() + timeout;
         let mut st = self.inner.st.lock();
         loop {
-            if st.tx.values().all(|t| t.unacked.is_empty()) {
+            if st.tx.values().all(|t| t.engine.outstanding() == 0) {
                 return Ok(());
             }
             if let Some(e) = &st.err {
@@ -400,8 +568,12 @@ mod tests {
     use crate::wire::WireConfig;
 
     fn pair(fab: &Fabric) -> (RdConduit, RdConduit) {
-        let a = RdConduit::bind(fab, Addr::new(0, 300), RdConfig::default()).unwrap();
-        let b = RdConduit::bind(fab, Addr::new(1, 300), RdConfig::default()).unwrap();
+        pair_with(fab, RdConfig::default())
+    }
+
+    fn pair_with(fab: &Fabric, cfg: RdConfig) -> (RdConduit, RdConduit) {
+        let a = RdConduit::bind(fab, Addr::new(0, 300), cfg.clone()).unwrap();
+        let b = RdConduit::bind(fab, Addr::new(1, 300), cfg).unwrap();
         (a, b)
     }
 
@@ -448,6 +620,127 @@ mod tests {
                 assert_eq!(u32::from_be_bytes(data[..].try_into().unwrap()), i);
             }
         });
+    }
+
+    #[test]
+    fn ordered_delivery_under_loss_adaptive() {
+        // Same contract with the adaptive algorithms driving recovery.
+        for cc in [CcAlgo::NewReno, CcAlgo::Cubic] {
+            let fab = Fabric::new(WireConfig::with_loss(0.05, 22));
+            let cfg = RdConfig { cc, ..RdConfig::default() };
+            let (a, b) = pair_with(&fab, cfg);
+            let n = 300u32;
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for i in 0..n {
+                        a.send_to(b.local_addr(), Bytes::from(i.to_be_bytes().to_vec()))
+                            .unwrap();
+                    }
+                });
+                for i in 0..n {
+                    let (_, data) = b.recv_from(Some(Duration::from_secs(10))).unwrap();
+                    assert_eq!(
+                        u32::from_be_bytes(data[..].try_into().unwrap()),
+                        i,
+                        "cc={cc}"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn wide_window_needs_wide_bitmap() {
+        // window 256 derives a 4-word bitmap; deliveries must survive
+        // reordering across the whole widened horizon.
+        let fab = Fabric::new(WireConfig::with_loss(0.02, 77));
+        let cfg = RdConfig {
+            window: 256,
+            cc: CcAlgo::NewReno,
+            ..RdConfig::default()
+        };
+        assert_eq!(cfg.resolve_sack_words().unwrap(), 4);
+        let (a, b) = pair_with(&fab, cfg);
+        let n = 600u32;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..n {
+                    a.send_to(b.local_addr(), Bytes::from(i.to_be_bytes().to_vec()))
+                        .unwrap();
+                }
+            });
+            for i in 0..n {
+                let (_, data) = b.recv_from(Some(Duration::from_secs(10))).unwrap();
+                assert_eq!(u32::from_be_bytes(data[..].try_into().unwrap()), i);
+            }
+        });
+    }
+
+    #[test]
+    fn inconsistent_config_rejected() {
+        let fab = Fabric::loopback();
+        // Bitmap narrower than the window: a sender could outrun ACKs.
+        let narrow = RdConfig {
+            window: 130,
+            sack_words: Some(2),
+            ..RdConfig::default()
+        };
+        assert!(matches!(
+            RdConduit::bind(&fab, Addr::new(0, 310), narrow),
+            Err(NetError::Protocol(_))
+        ));
+        let zero_window = RdConfig { window: 0, ..RdConfig::default() };
+        assert!(matches!(
+            RdConduit::bind(&fab, Addr::new(0, 311), zero_window),
+            Err(NetError::Protocol(_))
+        ));
+        let zero_words = RdConfig { sack_words: Some(0), ..RdConfig::default() };
+        assert!(matches!(
+            RdConduit::bind(&fab, Addr::new(0, 312), zero_words),
+            Err(NetError::Protocol(_))
+        ));
+        let too_wide = RdConfig {
+            window: 60_000,
+            ..RdConfig::default()
+        };
+        assert!(matches!(
+            RdConduit::bind(&fab, Addr::new(0, 313), too_wide),
+            Err(NetError::Protocol(_))
+        ));
+        // Derivation: window 100 needs 2 words; explicit wider is fine.
+        assert_eq!(
+            RdConfig { window: 100, ..RdConfig::default() }.resolve_sack_words().unwrap(),
+            2
+        );
+        let wider = RdConfig {
+            window: 10,
+            sack_words: Some(3),
+            ..RdConfig::default()
+        };
+        assert_eq!(wider.resolve_sack_words().unwrap(), 3);
+        drop(RdConduit::bind(&fab, Addr::new(0, 314), wider).unwrap());
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_reset() {
+        // A peer that never answers: the sender must give up after
+        // max_retries and surface Reset instead of retrying forever.
+        let fab = Fabric::loopback();
+        let cfg = RdConfig {
+            rto: Duration::from_millis(2),
+            max_retries: 4,
+            ..RdConfig::default()
+        };
+        let a = RdConduit::bind(&fab, Addr::new(0, 320), cfg).unwrap();
+        // No conduit at the destination: data vanishes, no ACKs come.
+        a.send_to(Addr::new(9, 9), Bytes::from_static(b"void")).unwrap();
+        let err = a.flush(Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err, NetError::Reset);
+        // Subsequent operations observe the reset too.
+        assert_eq!(
+            a.send_to(Addr::new(9, 9), Bytes::from_static(b"x")).unwrap_err(),
+            NetError::Reset
+        );
     }
 
     #[test]

@@ -26,9 +26,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
+use iwarp_cc::{RecoveryConfig, RecoveryEngine};
 use iwarp_telemetry::{Counter, EndpointId, EventKind, Telemetry};
 use parking_lot::{Condvar, Mutex};
 
+use iwarp_common::ccalgo::{self, CcAlgo};
 use iwarp_common::memacct::{MemRegistry, MemScope};
 
 use crate::error::{NetError, NetResult};
@@ -45,9 +47,19 @@ const FLAG_SYN: u8 = 0x01;
 const FLAG_ACK: u8 = 0x02;
 const FLAG_FIN: u8 = 0x04;
 const FLAG_RST: u8 = 0x08;
+/// The payload of this (pure-ACK) segment is SACK metadata — pairs of
+/// big-endian u64 `(lo, hi)` byte ranges the receiver holds out of order
+/// — not stream data. Only emitted when an adaptive congestion-control
+/// algorithm is configured, so the default wire traffic is unchanged.
+const FLAG_SACK: u8 = 0x10;
 
-/// Hard cap on retransmissions of one segment before the connection errors.
-const MAX_RETRIES: u32 = 30;
+/// Hard cap on handshake retransmissions before the connection errors
+/// (established-phase retransmissions are capped by
+/// [`StreamConfig::max_retries`] via the recovery engine).
+const MAX_HS_RETRIES: u32 = 30;
+
+/// Most `(lo, hi)` ranges one SACK segment carries.
+const MAX_SACK_RANGES: usize = 3;
 
 /// Configuration of a stream endpoint.
 #[derive(Clone, Debug)]
@@ -56,10 +68,22 @@ pub struct StreamConfig {
     pub snd_buf: usize,
     /// Receive (reassembly + delivery) buffer capacity, bytes.
     pub rcv_buf: usize,
-    /// Initial retransmission timeout.
+    /// Initial retransmission timeout (before any RTT samples arrive).
     pub rto_initial: Duration,
     /// Upper bound on the backed-off retransmission timeout.
     pub rto_max: Duration,
+    /// Lower bound on the adaptive retransmission timeout. Only applies
+    /// under an adaptive `cc` algorithm; `CcAlgo::Fixed` floors the timer
+    /// at `rto_initial`, matching the pre-engine behaviour.
+    pub min_rto: Duration,
+    /// Established-phase retransmissions of one segment before the
+    /// connection errors out.
+    pub max_retries: u32,
+    /// Congestion-control algorithm for the data phase. `Fixed` (the
+    /// process default unless overridden) preserves the legacy behaviour:
+    /// flow control by the peer's advertised window only, constant-base
+    /// RTO, no SACK blocks on the wire.
+    pub cc: CcAlgo,
     /// How long `connect` waits for the handshake to complete.
     pub connect_timeout: Duration,
     /// Memory registry for per-connection state accounting.
@@ -80,6 +104,9 @@ impl Default for StreamConfig {
             rcv_buf: 32 * 1024,
             rto_initial: Duration::from_millis(20),
             rto_max: Duration::from_secs(1),
+            min_rto: Duration::from_millis(1),
+            max_retries: 30,
+            cc: ccalgo::default_algo(),
             connect_timeout: Duration::from_secs(5),
             mem: None,
             poll_mode: false,
@@ -164,10 +191,17 @@ struct St {
     /// Sequence number of the peer's FIN (its position in the stream).
     peer_fin: Option<u64>,
     peer_closed: bool,
-    rto_deadline: Option<Instant>,
-    rto_cur: Duration,
-    retries: u32,
-    dup_acks: u32,
+    /// Handshake (SYN / SYN-ACK) retransmission timer. Once the connection
+    /// is established, all loss recovery moves to `engine`.
+    hs_deadline: Option<Instant>,
+    hs_rto: Duration,
+    hs_retries: u32,
+    /// Unified loss-recovery engine covering the data phase: scoreboard,
+    /// RTT-adaptive RTO, dup-ACK/SACK-driven fast retransmit, and the
+    /// congestion window when an adaptive `CcAlgo` is configured. Its
+    /// sequence space mirrors `[snd_una, snd_nxt)` from sequence 1 on
+    /// (the SYN at sequence 0 is handshake state, not engine state).
+    engine: RecoveryEngine,
     last_wnd_sent: u32,
     err: Option<NetError>,
     shutdown: bool,
@@ -217,6 +251,65 @@ impl St {
     }
 }
 
+/// Builds the recovery-engine configuration for one stream connection.
+/// Engine units are bytes; the quantum is the connection MSS.
+fn recovery_config(cfg: &StreamConfig, mss: usize) -> RecoveryConfig {
+    let fixed = cfg.cc == CcAlgo::Fixed;
+    RecoveryConfig {
+        algo: cfg.cc,
+        quantum: mss as u64,
+        // Fixed mode has no congestion window: flow control comes from the
+        // peer's advertised window alone, as it did pre-engine.
+        init_cwnd: if fixed { u64::MAX / 4 } else { 4 * mss as u64 },
+        fixed_window: u64::MAX / 4,
+        bdp_cap: u64::MAX / 4,
+        initial_rto: cfg.rto_initial,
+        // Fixed mode floors the adaptive RTO at the legacy initial value so
+        // the timer can never fire earlier than it used to.
+        min_rto: if fixed { cfg.rto_initial } else { cfg.min_rto },
+        max_rto: cfg.rto_max,
+        backoff: true,
+        max_retries: cfg.max_retries,
+        dup_threshold: 3,
+        rtx_queue_cap: 1024,
+        paced: false,
+    }
+}
+
+/// Coalesces the receiver's out-of-order map into at most
+/// [`MAX_SACK_RANGES`] half-open `(lo, hi)` byte ranges, big-endian.
+fn encode_sack(ooo: &BTreeMap<u64, Bytes>) -> Bytes {
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for (&seq, payload) in ooo {
+        let end = seq + payload.len() as u64;
+        match ranges.last_mut() {
+            Some((_, hi)) if seq <= *hi => *hi = (*hi).max(end),
+            _ => {
+                if ranges.len() == MAX_SACK_RANGES {
+                    break;
+                }
+                ranges.push((seq, end));
+            }
+        }
+    }
+    let mut b = BytesMut::with_capacity(ranges.len() * 16);
+    for (lo, hi) in ranges {
+        b.put_u64(lo);
+        b.put_u64(hi);
+    }
+    b.freeze()
+}
+
+/// Decodes SACK ranges from a [`FLAG_SACK`] segment payload.
+fn decode_sack(payload: &[u8]) -> impl Iterator<Item = (u64, u64)> + '_ {
+    payload.chunks_exact(16).map(|c| {
+        (
+            u64::from_be_bytes(c[..8].try_into().unwrap()),
+            u64::from_be_bytes(c[8..16].try_into().unwrap()),
+        )
+    })
+}
+
 /// Telemetry handles resolved once per connection (loss-path only, but a
 /// registry round-trip per retransmit would still be needless).
 struct StreamTel {
@@ -256,27 +349,28 @@ impl Inner {
         let _ = self.ep.send_to(st.peer, encode_segment(&seg));
     }
 
-    fn arm_rto(&self, st: &mut St) {
-        if st.rto_deadline.is_none() {
-            st.rto_deadline = Some(Instant::now() + st.rto_cur);
+    fn arm_hs_rto(&self, st: &mut St) {
+        if st.hs_deadline.is_none() {
+            st.hs_deadline = Some(Instant::now() + st.hs_rto);
         }
     }
 
-    /// Pushes out as much pending data as the peer's window allows.
-    /// Called with the state lock held.
+    /// Pushes out as much pending data as the peer's advertised window and
+    /// the engine's congestion window allow. Called with the lock held.
     fn pump(&self, st: &mut St) {
         if st.conn != Conn::Established {
             return;
         }
-        let wnd = u64::from(st.snd_wnd);
+        let t = st.engine.now();
+        let wnd = u64::from(st.snd_wnd).min(st.engine.window());
         loop {
             let in_flight = st.in_flight();
             let unsent = st.unsent();
-            if unsent == 0 {
+            if unsent == 0 || in_flight >= wnd || st.engine.is_dead() {
                 break;
             }
-            if in_flight >= wnd {
-                break;
+            if st.engine.pace_delay(t).is_some() {
+                break; // paced: the next io_step retries after the gap
             }
             let len = unsent.min(self.mss).min((wnd - in_flight) as usize);
             if len == 0 {
@@ -286,22 +380,23 @@ impl Inner {
             let payload = st.slice_send_q(offset, len);
             let seq = st.snd_nxt;
             st.snd_nxt += len as u64;
+            st.engine.on_send(t, len as u64);
             self.tx(st, FLAG_ACK, seq, payload);
-            self.arm_rto(st);
         }
         // Persist timer: data pending against a zero window must keep a
         // timer armed or a lost window update deadlocks the connection.
         if st.unsent() > 0 && st.in_flight() == 0 && st.snd_wnd == 0 {
-            self.arm_rto(st);
+            st.engine.ensure_deadline(t);
         }
         // FIN goes out once all data has been transmitted at least once.
-        if st.fin_requested && st.fin_seq.is_none() && st.unsent() == 0 {
+        if st.fin_requested && st.fin_seq.is_none() && st.unsent() == 0 && !st.engine.is_dead() {
             let seq = st.snd_nxt;
             st.fin_seq = Some(seq);
             st.snd_nxt += 1;
+            st.engine.on_send(t, 1);
             self.tx(st, FLAG_FIN | FLAG_ACK, seq, Bytes::new());
-            self.arm_rto(st);
         }
+        debug_assert_eq!(st.engine.nxt(), st.snd_nxt);
     }
 
     /// Handles one incoming segment. Called with the state lock held.
@@ -330,9 +425,8 @@ impl Inner {
                     st.snd_una = 1;
                     st.rcv_nxt = seg.seq + 1;
                     st.snd_wnd = seg.wnd;
-                    st.rto_deadline = None;
-                    st.rto_cur = self.cfg.rto_initial;
-                    st.retries = 0;
+                    st.hs_deadline = None;
+                    st.hs_retries = 0;
                     self.tx(st, FLAG_ACK, st.snd_nxt, Bytes::new());
                 }
                 return;
@@ -345,9 +439,8 @@ impl Inner {
                 }
                 if seg.flags & FLAG_ACK != 0 && seg.ack >= 1 {
                     st.conn = Conn::Established;
-                    st.rto_deadline = None;
-                    st.rto_cur = self.cfg.rto_initial;
-                    st.retries = 0;
+                    st.hs_deadline = None;
+                    st.hs_retries = 0;
                     // Fall through: the segment may carry data too.
                 } else {
                     return;
@@ -368,6 +461,15 @@ impl Inner {
         // ACK processing.
         if seg.flags & FLAG_ACK != 0 {
             st.snd_wnd = seg.wnd;
+            let t = st.engine.now();
+            if seg.flags & FLAG_SACK != 0 {
+                // The payload is SACK metadata: feed the scoreboard, then
+                // let the engine infer losses from the sacked horizon.
+                for (lo, hi) in decode_sack(&seg.payload) {
+                    st.engine.on_sack_range(t, lo, hi);
+                }
+                st.engine.detect_losses(t);
+            }
             if seg.ack > st.snd_una && seg.ack <= st.snd_nxt {
                 // Bytes covered by the cumulative ACK leave the send queue.
                 // The SYN (seq 0) and our FIN occupy sequence numbers but no
@@ -380,28 +482,28 @@ impl Inner {
                 let drop_bytes = data_acked_to.saturating_sub(data_start) as usize;
                 st.send_q.drain(..drop_bytes.min(st.send_q.len()));
                 st.snd_una = seg.ack;
-                st.dup_acks = 0;
-                st.retries = 0;
-                st.rto_cur = self.cfg.rto_initial;
-                st.rto_deadline = if st.in_flight() > 0 {
-                    Some(Instant::now() + st.rto_cur)
-                } else {
-                    None
-                };
+                st.engine.on_cum_ack(t, seg.ack);
                 self.writable.notify_all();
-            } else if seg.ack == st.snd_una && st.in_flight() > 0 && seg.payload.is_empty() {
-                st.dup_acks += 1;
-                if st.dup_acks == 3 {
-                    self.tel.fast_retransmits.inc();
-                    self.retransmit_head(st);
-                }
+            } else if seg.ack == st.snd_una
+                && st.in_flight() > 0
+                && (seg.payload.is_empty() || seg.flags & FLAG_SACK != 0)
+            {
+                // A pure duplicate ACK (possibly carrying SACK blocks)
+                // hints at head loss; the engine fast-retransmits once
+                // enough hints accumulate.
+                st.engine.on_dup_ack(t);
             }
+            self.drain_rtx(st, &self.tel.fast_retransmits);
         }
 
-        // Payload placement.
+        // Payload placement (SACK payloads are metadata, not stream data).
         let mut should_ack = false;
-        let payload_len = seg.payload.len() as u64;
-        if !seg.payload.is_empty() {
+        let payload_len = if seg.flags & FLAG_SACK == 0 {
+            seg.payload.len() as u64
+        } else {
+            0
+        };
+        if !seg.payload.is_empty() && seg.flags & FLAG_SACK == 0 {
             should_ack = true;
             let mut seq = seg.seq;
             let mut payload = seg.payload;
@@ -449,7 +551,20 @@ impl Inner {
         }
 
         if should_ack {
-            self.tx(st, FLAG_ACK, st.snd_nxt, Bytes::new());
+            self.send_ack(st);
+        }
+    }
+
+    /// Emits a pure ACK, attaching SACK ranges for out-of-order data when
+    /// an adaptive algorithm is configured (`Fixed` keeps the legacy
+    /// empty-ACK wire format).
+    fn send_ack(&self, st: &mut St) {
+        let seq = st.snd_nxt;
+        if self.cfg.cc != CcAlgo::Fixed && !st.ooo.is_empty() {
+            let sack = encode_sack(&st.ooo);
+            self.tx(st, FLAG_ACK | FLAG_SACK, seq, sack);
+        } else {
+            self.tx(st, FLAG_ACK, seq, Bytes::new());
         }
     }
 
@@ -480,8 +595,8 @@ impl Inner {
         }
     }
 
-    /// Retransmits the oldest unacknowledged segment (or SYN/FIN).
-    fn retransmit_head(&self, st: &mut St) {
+    /// Retransmits one engine-identified range `[seq, seq + len)`.
+    fn retransmit_range(&self, st: &mut St, seq: u64, len: usize) {
         self.tel.retransmits.inc();
         if self.tel.tel.tracer().armed() {
             let local = self.ep.local_addr();
@@ -490,64 +605,88 @@ impl Inner {
                 EndpointId::new(local.node.0, local.port),
                 EventKind::Retransmit,
                 st.in_flight(),
-                st.snd_una,
+                seq,
             );
         }
-        match st.conn {
-            Conn::SynSent => {
-                self.tx(st, FLAG_SYN, 0, Bytes::new());
-            }
-            Conn::SynReceived => {
-                self.tx(st, FLAG_SYN | FLAG_ACK, 0, Bytes::new());
-            }
-            Conn::Established => {
-                if st.fin_seq == Some(st.snd_una) {
-                    self.tx(st, FLAG_FIN | FLAG_ACK, st.snd_una, Bytes::new());
-                    return;
-                }
-                let avail = st
-                    .send_q
-                    .len()
-                    .min(self.mss)
-                    .min((st.snd_nxt - st.snd_una) as usize);
-                if avail > 0 {
-                    let payload = st.slice_send_q(0, avail);
-                    let seq = st.snd_una;
-                    self.tx(st, FLAG_ACK, seq, payload);
-                }
-            }
-            Conn::Closed => {}
+        if st.fin_seq == Some(seq) {
+            self.tx(st, FLAG_FIN | FLAG_ACK, seq, Bytes::new());
+            return;
+        }
+        let offset = (seq - st.snd_una) as usize;
+        let avail = st.send_q.len().saturating_sub(offset).min(len);
+        if avail > 0 {
+            let payload = st.slice_send_q(offset, avail);
+            self.tx(st, FLAG_ACK, seq, payload);
         }
     }
 
-    fn on_rto(&self, st: &mut St) {
-        st.retries += 1;
-        if st.retries > MAX_RETRIES {
-            st.err = Some(NetError::Timeout);
-            st.conn = Conn::Closed;
-            self.readable.notify_all();
-            self.writable.notify_all();
-            self.established.notify_all();
+    /// Sends everything the engine has queued for retransmission, and
+    /// surfaces connection death (retry budget exhausted) as a reset.
+    /// `kind` attributes the retransmissions (fast vs timeout-driven).
+    fn drain_rtx(&self, st: &mut St, kind: &Counter) {
+        let t = st.engine.now();
+        while let Some((seq, len)) = st.engine.pop_rtx(t) {
+            kind.inc();
+            self.retransmit_range(st, seq, len as usize);
+        }
+        if st.engine.is_dead() && st.conn != Conn::Closed {
+            self.fail(st, NetError::Reset);
+        }
+    }
+
+    fn fail(&self, st: &mut St, err: NetError) {
+        if st.err.is_none() {
+            st.err = Some(err);
+        }
+        st.conn = Conn::Closed;
+        self.readable.notify_all();
+        self.writable.notify_all();
+        self.established.notify_all();
+    }
+
+    /// Handshake retransmission timer (SYN / SYN-ACK only).
+    fn on_hs_rto(&self, st: &mut St) {
+        st.hs_retries += 1;
+        if st.hs_retries > MAX_HS_RETRIES {
+            self.fail(st, NetError::Timeout);
             return;
         }
-        if st.conn == Conn::Established && st.in_flight() == 0 {
+        self.tel.rto_retransmits.inc();
+        self.tel.retransmits.inc();
+        match st.conn {
+            Conn::SynSent => self.tx(st, FLAG_SYN, 0, Bytes::new()),
+            Conn::SynReceived => self.tx(st, FLAG_SYN | FLAG_ACK, 0, Bytes::new()),
+            Conn::Established | Conn::Closed => {}
+        }
+        st.hs_rto = (st.hs_rto * 2).min(self.cfg.rto_max);
+        st.hs_deadline = Some(Instant::now() + st.hs_rto);
+    }
+
+    /// Established-phase timer: lets the engine sweep, then acts on what it
+    /// decided (head retransmission, zero-window probe, or death).
+    fn on_engine_timer(&self, st: &mut St) {
+        let t = st.engine.now();
+        let ev = st.engine.sweep(t);
+        if ev.dead {
+            self.fail(st, NetError::Reset);
+            return;
+        }
+        if ev.probe {
+            // Nothing outstanding: this was the persist timer. Probe only
+            // if data is still pinned behind a zero window.
             if st.unsent() > 0 && st.snd_wnd == 0 {
-                // Zero-window probe: push one byte past the window.
                 self.tel.zero_window_probes.inc();
-                let payload = st.slice_send_q(0, 1);
+                let payload = st.slice_send_q(st.data_in_flight(), 1);
                 let seq = st.snd_nxt;
                 st.snd_nxt += 1;
+                st.engine.on_send(t, 1);
                 self.tx(st, FLAG_ACK, seq, payload);
-            } else {
-                st.rto_deadline = None;
-                return;
             }
-        } else {
-            self.tel.rto_retransmits.inc();
-            self.retransmit_head(st);
+            return;
         }
-        st.rto_cur = (st.rto_cur * 2).min(self.cfg.rto_max);
-        st.rto_deadline = Some(Instant::now() + st.rto_cur);
+        if ev.rto_fired {
+            self.drain_rtx(st, &self.tel.rto_retransmits);
+        }
     }
 }
 
@@ -561,12 +700,16 @@ impl Inner {
             if st.shutdown {
                 return;
             }
-            match st.rto_deadline {
-                Some(d) => d
-                    .saturating_duration_since(Instant::now())
-                    .min(max_wait),
-                None => max_wait,
+            let mut w = max_wait;
+            if let Some(d) = st.hs_deadline {
+                w = w.min(d.saturating_duration_since(Instant::now()));
             }
+            if st.conn == Conn::Established {
+                if let Some(d) = st.engine.rto_deadline() {
+                    w = w.min(d.saturating_sub(st.engine.now()));
+                }
+            }
+            w
         };
         let pkt = self.ep.recv(Some(wait));
         let mut st = self.st.lock();
@@ -591,10 +734,22 @@ impl Inner {
                 st.conn = Conn::Closed;
             }
         }
-        if let Some(d) = st.rto_deadline {
-            if Instant::now() >= d {
-                self.on_rto(&mut st);
+        match st.conn {
+            Conn::SynSent | Conn::SynReceived => {
+                if let Some(d) = st.hs_deadline {
+                    if Instant::now() >= d {
+                        self.on_hs_rto(&mut st);
+                    }
+                }
             }
+            Conn::Established => {
+                if let Some(d) = st.engine.rto_deadline() {
+                    if st.engine.now() >= d {
+                        self.on_engine_timer(&mut st);
+                    }
+                }
+            }
+            Conn::Closed => {}
         }
         self.pump(&mut st);
         if st.conn == Conn::Established {
@@ -639,7 +794,7 @@ impl StreamConduit {
         {
             let mut st = conduit.inner.st.lock();
             conduit.inner.tx(&mut st, FLAG_SYN, 0, Bytes::new());
-            conduit.inner.arm_rto(&mut st);
+            conduit.inner.arm_hs_rto(&mut st);
         }
         // Wait for the handshake.
         let deadline = Instant::now() + conduit.inner.cfg.connect_timeout;
@@ -691,6 +846,8 @@ impl StreamConduit {
             Conn::SynReceived => (0, 1, 1),
             _ => unreachable!("streams start in a handshake state"),
         };
+        let engine = RecoveryEngine::new_at(recovery_config(&cfg, mss), 1)
+            .with_telemetry(ep.fabric().telemetry());
         let t = ep.fabric().telemetry().clone();
         let tel = StreamTel {
             retransmits: t.counter("simnet.stream.retransmits"),
@@ -718,10 +875,10 @@ impl StreamConduit {
                 fin_seq: None,
                 peer_fin: None,
                 peer_closed: false,
-                rto_deadline: None,
-                rto_cur: cfg.rto_initial,
-                retries: 0,
-                dup_acks: 0,
+                hs_deadline: None,
+                hs_rto: cfg.rto_initial,
+                hs_retries: 0,
+                engine,
                 last_wnd_sent: 0,
                 err: None,
                 shutdown: false,
@@ -1001,7 +1158,7 @@ impl StreamListener {
                 conduit
                     .inner
                     .tx(&mut st, FLAG_SYN | FLAG_ACK, 0, Bytes::new());
-                conduit.inner.arm_rto(&mut st);
+                conduit.inner.arm_hs_rto(&mut st);
             }
             return Ok(conduit);
         }
@@ -1071,6 +1228,57 @@ mod tests {
                 .unwrap();
             assert_eq!(got, expect);
         });
+    }
+
+    #[test]
+    fn bulk_transfer_under_loss_adaptive() {
+        // Adaptive congestion control changes the sender's pacing and adds
+        // SACK blocks to the wire; the delivered byte stream must still be
+        // exact under loss for every algorithm.
+        for cc in [CcAlgo::NewReno, CcAlgo::Cubic] {
+            let fab = Fabric::new(WireConfig::with_loss(0.02, 42));
+            let cfg = StreamConfig {
+                rto_initial: Duration::from_millis(5),
+                cc,
+                ..StreamConfig::default()
+            };
+            let (client, server) = connect_pair(&fab, cfg);
+            let data: Vec<u8> = (0..100_000u32).map(|i| (i % 249) as u8).collect();
+            let expect = data.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || client.write_all(&data).unwrap());
+                let mut got = vec![0u8; expect.len()];
+                server
+                    .read_exact(&mut got, Some(Duration::from_secs(30)))
+                    .unwrap();
+                assert_eq!(got, expect, "corrupt stream under {cc}");
+            });
+        }
+    }
+
+    #[test]
+    fn data_retry_exhaustion_resets_connection() {
+        // Once the peer disappears, established-phase retransmissions are
+        // bounded: the engine gives up after `max_retries` and the error
+        // surfaces as a connection reset, not a hang.
+        let fab = Fabric::loopback();
+        let cfg = StreamConfig {
+            rto_initial: Duration::from_millis(2),
+            rto_max: Duration::from_millis(4),
+            max_retries: 4,
+            ..StreamConfig::default()
+        };
+        let (client, server) = connect_pair(&fab, cfg);
+        drop(server); // peer endpoint unbinds; nothing will ACK again
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let err = loop {
+            if let Err(e) = client.write_all(b"spam into the void") {
+                break e;
+            }
+            assert!(Instant::now() < deadline, "reset never surfaced");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(err, NetError::Reset);
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn rd_window_limits_outstanding_messages() {
     let cfg = RdConfig {
         window: 2,
         rto: Duration::from_millis(10),
+        ..RdConfig::default()
     };
     let a = RdConduit::bind(&fab, Addr::new(0, 2), cfg).unwrap();
     let dead = Addr::new(9, 9);

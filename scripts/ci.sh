@@ -33,11 +33,22 @@ for bpath in per-packet burst; do
     cargo run --release -p iwarp-bench --bin chaos -- --plans 25 --burst-path "$bpath"
 done
 
+echo "==> chaos smoke under adaptive congestion control (newreno)"
+# Same adversary, reliable phase driven by NewReno instead of the legacy
+# fixed window — verbs/socket fault traces must stay seed-deterministic.
+cargo run --release -p iwarp-bench --bin chaos -- --plans 25 --cc newreno
+
 echo "==> burst smoke: batched-verbs datapath A/B at the acceptance cell"
 # Fails unless burst-32 x 64 B beats per-packet >= 2x msgs/s with >= 4x
 # fewer fabric lock rounds per message. The committed BENCH_PR5.json is
 # the full sweep; the smoke result goes to target/ so it never clobbers it.
 cargo run --release -p iwarp-bench --bin burst -- --smoke --out target/burst_smoke.json
+
+echo "==> recovery smoke: NewReno vs fixed at 1% loss (>= 2x gate)"
+# Bounded slice of the loss-recovery sweep; fails unless the adaptive
+# controller beats the legacy fixed window >= 2x rdgram msgs/s at 1%
+# Bernoulli loss. The committed BENCH_PR6.json is the full sweep.
+cargo run --release -p iwarp-bench --bin recovery -- --smoke --out target/recovery_smoke.json
 
 echo "==> scale smoke: 256 SIP calls, 2 shards, event-driven completions"
 # Bounded concurrency-scaling run (legacy baseline + sharded/event mode);

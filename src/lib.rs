@@ -13,6 +13,8 @@
 //! * [`verbs`] — the iWARP stack itself (devices, QPs, CQs, MRs);
 //! * [`sockets`] — the socket interface over UD/RC queue pairs;
 //! * [`apps`] — the media-streaming and SIP evaluation workloads;
+//! * [`cc`] — the shared loss-recovery engine and pluggable congestion
+//!   controllers driving the reliable conduits;
 //! * [`telemetry`] — stack-wide counters, histograms, and packet tracing
 //!   (reach it from a running stack via `fabric.telemetry()`);
 //! * [`chaos`] — the seeded fault adversary, cross-layer invariant
@@ -22,6 +24,7 @@
 //! inventory and EXPERIMENTS.md for the figure-by-figure reproduction.
 
 pub use iwarp_apps as apps;
+pub use iwarp_cc as cc;
 pub use iwarp_chaos as chaos;
 pub use iwarp_common as common;
 pub use iwarp_socket as sockets;
