@@ -14,12 +14,15 @@
 //! [`BurstPath`] settings; wire bytes are identical, only the locking
 //! cadence differs.
 //!
-//! Per run it records delivered msgs/s, sender doorbell µs/msg
-//! (p50/p99 across batches), `simnet.fabric.lock_acquisitions` per
-//! message, and `core.qp.tx_bursts`. Results land in `BENCH_PR5.json`
-//! with an acceptance block comparing burst-32 × 64 B against the
-//! per-packet baseline (targets: ≥2× msgs/s, ≥4× fewer fabric lock
-//! acquisitions per message).
+//! Per run it records delivered msgs/s (total and per core used),
+//! sender doorbell µs/msg (p50/p99 across batches), the per-link ring
+//! telemetry (`simnet.fabric.ring_enqueues`, `ring_full_retries`, mean
+//! `ring_occupancy`), and `core.qp.tx_bursts`. The deprecated
+//! `simnet.fabric.lock_acquisitions` counter is still read and must be
+//! zero — the PR 7 fabric takes no shared lock on the hot transmit
+//! path. The acceptance block compares burst-32 × 64 B against the
+//! per-packet baseline (targets: ≥2× msgs/s, zero shared fabric locks
+//! on both paths).
 
 use std::fmt::Write as _;
 use std::fs;
@@ -109,12 +112,24 @@ struct RunResult {
     sent: usize,
     delivered: usize,
     msgs_per_sec: f64,
+    /// msgs/s divided by the cores this run can actually use (sender +
+    /// receiver thread, capped at `host_cpus`).
+    msgs_per_sec_per_core: f64,
     /// Sender doorbell time per message (batch post / burst), µs.
     doorbell_p50_us: f64,
     doorbell_p99_us: f64,
+    /// Deprecated shared-lock counter — must be 0 on the ring fabric.
     lock_acq: u64,
-    lock_acq_per_msg: f64,
+    ring_enqueues: u64,
+    ring_full_retries: u64,
+    /// Mean ring+spill occupancy observed at enqueue.
+    ring_occupancy_mean: f64,
     tx_bursts: u64,
+}
+
+/// Cores the two-thread (sender + receiver) pipeline can use.
+fn cores_used() -> usize {
+    iwarp_common::affinity::host_cpus().min(2)
 }
 
 /// One open-loop run: `msgs` messages of `size` bytes in doorbells of
@@ -206,18 +221,26 @@ fn run_one(path: BurstPath, size: usize, burst: usize, msgs: usize) -> RunResult
     });
     let delta = fabric.telemetry().snapshot().delta(&before);
     let lock_acq = delta.get("simnet.fabric.lock_acquisitions").unwrap_or(0);
+    let ring_enqueues = delta.get("simnet.fabric.ring_enqueues").unwrap_or(0);
+    let ring_full_retries = delta.get("simnet.fabric.ring_full_retries").unwrap_or(0);
+    let occ_count = delta.get("simnet.fabric.ring_occupancy.count").unwrap_or(0);
+    let occ_sum = delta.get("simnet.fabric.ring_occupancy.sum").unwrap_or(0);
     let tx_bursts = delta.get("core.qp.tx_bursts").unwrap_or(0);
+    let msgs_per_sec = delivered as f64 / elapsed.as_secs_f64().max(1e-9);
     RunResult {
         path: path.as_str(),
         size,
         burst,
         sent: msgs,
         delivered,
-        msgs_per_sec: delivered as f64 / elapsed.as_secs_f64().max(1e-9),
+        msgs_per_sec,
+        msgs_per_sec_per_core: msgs_per_sec / cores_used() as f64,
         doorbell_p50_us: doorbell.percentile(50.0),
         doorbell_p99_us: doorbell.percentile(99.0),
         lock_acq,
-        lock_acq_per_msg: lock_acq as f64 / (delivered.max(1)) as f64,
+        ring_enqueues,
+        ring_full_retries,
+        ring_occupancy_mean: occ_sum as f64 / occ_count.max(1) as f64,
         tx_bursts,
     }
 }
@@ -229,19 +252,23 @@ fn json_runs(results: &[RunResult]) -> String {
         let _ = write!(
             s,
             "\n  {{\"path\": \"{}\", \"size\": {}, \"burst\": {}, \"sent\": {}, \
-             \"delivered\": {}, \"msgs_per_sec\": {:.1}, \"doorbell_p50_us\": {:.3}, \
-             \"doorbell_p99_us\": {:.3}, \"fabric_lock_acq\": {}, \
-             \"lock_acq_per_msg\": {:.3}, \"tx_bursts\": {}}}{}",
+             \"delivered\": {}, \"msgs_per_sec\": {:.1}, \"msgs_per_sec_per_core\": {:.1}, \
+             \"doorbell_p50_us\": {:.3}, \"doorbell_p99_us\": {:.3}, \
+             \"fabric_lock_acq\": {}, \"ring_enqueues\": {}, \"ring_full_retries\": {}, \
+             \"ring_occupancy_mean\": {:.2}, \"tx_bursts\": {}}}{}",
             r.path,
             r.size,
             r.burst,
             r.sent,
             r.delivered,
             r.msgs_per_sec,
+            r.msgs_per_sec_per_core,
             r.doorbell_p50_us,
             r.doorbell_p99_us,
             r.lock_acq,
-            r.lock_acq_per_msg,
+            r.ring_enqueues,
+            r.ring_full_retries,
+            r.ring_occupancy_mean,
             r.tx_bursts,
             sep
         );
@@ -249,14 +276,14 @@ fn json_runs(results: &[RunResult]) -> String {
     s
 }
 
-/// The acceptance cell: 64 B × burst 32 (falling back to the largest
-/// measured cell when the sweep omitted it).
-fn acceptance_cell(results: &[RunResult], path: &str) -> Option<(f64, f64)> {
+/// The acceptance cell: 64 B × burst 32. Returns (msgs/s, shared lock
+/// acquisitions) for the given path.
+fn acceptance_cell(results: &[RunResult], path: &str) -> Option<(f64, u64)> {
     results
         .iter()
         .filter(|r| r.path == path)
         .filter(|r| r.size == 64 && r.burst == 32)
-        .map(|r| (r.msgs_per_sec, r.lock_acq_per_msg))
+        .map(|r| (r.msgs_per_sec, r.lock_acq))
         .next()
 }
 
@@ -270,17 +297,17 @@ fn main() -> ExitCode {
     };
     let mut results = Vec::new();
     println!(
-        "{:<10} {:>5} {:>6} {:>12} {:>14} {:>14} {:>14}",
-        "path", "size", "burst", "msgs/s", "doorbell p50", "doorbell p99", "locks/msg"
+        "{:<10} {:>5} {:>6} {:>12} {:>14} {:>14} {:>12} {:>10}",
+        "path", "size", "burst", "msgs/s", "doorbell p50", "doorbell p99", "ring spills", "locks"
     );
     for &size in &args.sizes {
         for &burst in &args.bursts {
             for path in [BurstPath::PerPacket, BurstPath::Burst] {
                 let r = run_one(path, size, burst, args.msgs);
                 println!(
-                    "{:<10} {:>5} {:>6} {:>12.0} {:>11.3} us {:>11.3} us {:>14.3}",
+                    "{:<10} {:>5} {:>6} {:>12.0} {:>11.3} us {:>11.3} us {:>12} {:>10}",
                     r.path, r.size, r.burst, r.msgs_per_sec, r.doorbell_p50_us,
-                    r.doorbell_p99_us, r.lock_acq_per_msg
+                    r.doorbell_p99_us, r.ring_full_retries, r.lock_acq
                 );
                 results.push(r);
             }
@@ -289,22 +316,28 @@ fn main() -> ExitCode {
     // Restore the process default for anything that runs after us.
     iwarp_common::burstpath::set_default(BurstPath::PerPacket);
 
+    let mut gate_ok = true;
     let acceptance = match (
         acceptance_cell(&results, "per-packet"),
         acceptance_cell(&results, "burst"),
     ) {
         (Some((pp_rate, pp_locks)), Some((b_rate, b_locks))) => {
             let speedup = b_rate / pp_rate.max(1e-9);
-            let lock_reduction = pp_locks / b_locks.max(1e-9);
-            let pass = speedup >= 2.0 && lock_reduction >= 4.0;
+            // PR 7: the hot transmit path must take zero shared fabric
+            // locks under either batching discipline.
+            let zero_locks = pp_locks == 0 && b_locks == 0;
+            let pass = speedup >= 2.0 && zero_locks;
+            gate_ok = pass;
             println!(
-                "\nacceptance 64B x burst32: {speedup:.2}x msgs/s, \
-                 {lock_reduction:.2}x fewer fabric locks/msg -> {}",
+                "\nacceptance 64B x burst32: {speedup:.2}x msgs/s, shared fabric locks \
+                 per-packet={pp_locks} burst={b_locks} -> {}",
                 if pass { "PASS" } else { "FAIL" }
             );
             format!(
                 "{{\"size\": 64, \"burst\": 32, \"speedup\": {speedup:.3}, \
-                 \"lock_reduction\": {lock_reduction:.3}, \"pass\": {pass}}}"
+                 \"shared_fabric_locks_per_packet\": {pp_locks}, \
+                 \"shared_fabric_locks_burst\": {b_locks}, \
+                 \"zero_shared_locks\": {zero_locks}, \"pass\": {pass}}}"
             )
         }
         _ => {
@@ -314,9 +347,10 @@ fn main() -> ExitCode {
     };
 
     let json = format!(
-        "{{\n\"bench\": \"burst_datapath\",\n\"host_cpus\": {},\n\"msgs_per_run\": {},\n\
-         \"runs\": [{}\n],\n\"acceptance\": {}\n}}\n",
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        "{{\n\"bench\": \"burst_datapath\",\n\"host_cpus\": {},\n\"cores_used\": {},\n\
+         \"msgs_per_run\": {},\n\"runs\": [{}\n],\n\"acceptance\": {}\n}}\n",
+        iwarp_common::affinity::host_cpus(),
+        cores_used(),
         args.msgs,
         json_runs(&results),
         acceptance
@@ -326,5 +360,9 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
     println!("wrote {}", args.out);
+    if !gate_ok {
+        eprintln!("acceptance gate failed");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

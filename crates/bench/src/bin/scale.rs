@@ -1,7 +1,7 @@
 //! `scale` — the many-QP concurrency-scaling harness (PR 4 acceptance).
 //!
 //! ```text
-//! scale [--calls LIST] [--shards LIST] [--idle-ms N] [--out PATH] [--smoke] [--full]
+//! scale [--calls LIST] [--shards LIST] [--idle-ms N] [--out PATH] [--smoke] [--full] [--pin]
 //! ```
 //!
 //! Runs SipStone-style closed-loop call batches (INVITE → 200 → ACK …
@@ -25,7 +25,14 @@
 //! Caveat recorded in the output: shard *throughput* scaling needs shard
 //! workers on separate cores. On a single-CPU host the shards serialize
 //! onto one core and msgs/s is flat (or slightly down) with shard count;
-//! `host_cpus` is written alongside so readers can judge the numbers.
+//! `host_cpus` and per-run `msgs_per_sec_per_core` are written alongside
+//! so readers can judge the numbers, and `--pin` pins shard workers to
+//! cores (`sched_setaffinity`, advisory) to take the scheduler out of
+//! the measurement. Under `--smoke` on a host with `host_cpus ≥ 2` the
+//! bin additionally runs the PR 7 multi-core gate — 1-shard vs 4-shard
+//! event mode, pinned, asserting a msgs/s ratio ≥ 1.5 — and records an
+//! honest skip (with `host_cpus`) when the host cannot express
+//! multi-core scaling at all.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -80,6 +87,11 @@ struct RunResult {
     notify: &'static str,
     established: usize,
     msgs_per_sec: f64,
+    /// msgs/s divided by the cores this configuration can actually use
+    /// (shard workers + the client driver thread, capped at host_cpus).
+    msgs_per_sec_per_core: f64,
+    cores_used: usize,
+    pinned: bool,
     p50_us: f64,
     p99_us: f64,
     server_mem_bytes: u64,
@@ -108,7 +120,7 @@ fn cpu_ticks() -> u64 {
 /// INVITE, 200(INVITE), ACK, BYE, 200(BYE).
 const MSGS_PER_CALL: f64 = 5.0;
 
-fn run_one(mode: Mode, calls: usize, idle_window: Duration) -> Result<RunResult, String> {
+fn run_one(mode: Mode, calls: usize, idle_window: Duration, pin: bool) -> Result<RunResult, String> {
     // Unpaced wire: the harness measures stack processing capacity, not
     // modeled link rate.
     let fab = Fabric::new(WireConfig::default());
@@ -129,7 +141,10 @@ fn run_one(mode: Mode, calls: usize, idle_window: Duration) -> Result<RunResult,
         NodeId(1),
         iwarp::DeviceConfig {
             mem: Some(reg.clone()),
-            shard: iwarp::ShardConfig::with_shards(mode.shards()),
+            shard: iwarp::ShardConfig {
+                pin_cores: pin,
+                ..iwarp::ShardConfig::with_shards(mode.shards())
+            },
             ..iwarp::DeviceConfig::default()
         },
         server_cfg,
@@ -182,6 +197,10 @@ fn run_one(mode: Mode, calls: usize, idle_window: Duration) -> Result<RunResult,
     server.stop().map_err(|e| format!("server stop: {e:?}"))?;
 
     let msgs = MSGS_PER_CALL * report.calls_established as f64;
+    let msgs_per_sec = msgs / elapsed.as_secs_f64().max(1e-9);
+    // Shard workers plus the client driver thread, capped at what the
+    // host actually has.
+    let cores_used = iwarp_common::affinity::host_cpus().min(mode.shards().max(1) + 1);
     Ok(RunResult {
         mode: mode.label(),
         calls,
@@ -191,7 +210,10 @@ fn run_one(mode: Mode, calls: usize, idle_window: Duration) -> Result<RunResult,
             NotifyPath::Event => "event",
         },
         established: report.calls_established,
-        msgs_per_sec: msgs / elapsed.as_secs_f64().max(1e-9),
+        msgs_per_sec,
+        msgs_per_sec_per_core: msgs_per_sec / cores_used as f64,
+        cores_used,
+        pinned: pin,
         p50_us: report.response_us.median(),
         p99_us: report.response_us.percentile(99.0),
         server_mem_bytes: report.server_mem_bytes,
@@ -214,6 +236,7 @@ struct Args {
     idle_ms: u64,
     out: String,
     smoke: bool,
+    pin: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -223,6 +246,7 @@ fn parse_args() -> Result<Args, String> {
         idle_ms: 1000,
         out: "BENCH_PR4.json".into(),
         smoke: false,
+        pin: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -258,6 +282,7 @@ fn parse_args() -> Result<Args, String> {
                 args.idle_ms = 250;
             }
             "--full" => args.calls = vec![64, 256, 1024, 4096],
+            "--pin" => args.pin = true,
             "--burst-path" => {
                 let spec = grab(&argv, i, "--burst-path")?;
                 let path = iwarp_common::burstpath::BurstPath::parse(&spec)
@@ -268,7 +293,7 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unknown arg {other:?}\nusage: scale [--calls LIST] [--shards LIST] \
-                     [--idle-ms N] [--out PATH] [--smoke] [--full] \
+                     [--idle-ms N] [--out PATH] [--smoke] [--full] [--pin] \
                      [--burst-path {{per-packet,burst}}]"
                 ))
             }
@@ -285,15 +310,19 @@ fn json_runs(results: &[RunResult]) -> String {
         let _ = write!(
             s,
             "\n  {{\"mode\": \"{}\", \"calls\": {}, \"shards\": {}, \"notify\": \"{}\", \
-             \"established\": {}, \"msgs_per_sec\": {:.1}, \"p50_us\": {:.1}, \
+             \"pinned\": {}, \"cores_used\": {}, \"established\": {}, \
+             \"msgs_per_sec\": {:.1}, \"msgs_per_sec_per_core\": {:.1}, \"p50_us\": {:.1}, \
              \"p99_us\": {:.1}, \"server_mem_bytes\": {}, \"per_call_bytes\": {:.1}, \
              \"idle_cpu_ticks\": {}, \"idle_window_ms\": {}, \"elapsed_s\": {:.2}}}{}",
             r.mode,
             r.calls,
             r.shards,
             r.notify,
+            r.pinned,
+            r.cores_used,
             r.established,
             r.msgs_per_sec,
+            r.msgs_per_sec_per_core,
             r.p50_us,
             r.p99_us,
             r.server_mem_bytes,
@@ -330,7 +359,7 @@ fn main() -> ExitCode {
         }
         modes.extend(args.shards.iter().map(|&s| Mode::Event { shards: s.max(1) }));
         for mode in modes {
-            match run_one(mode, calls, idle_window) {
+            match run_one(mode, calls, idle_window, args.pin) {
                 Ok(r) => {
                     println!(
                         "{:<16} {:>6} {:>12.0} {:>9.1} {:>9.1} {:>11.0} {:>10}",
@@ -344,6 +373,47 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        }
+    }
+
+    // PR 7 multi-core gate: on a host that can actually express
+    // multi-core shard scaling, 4 pinned event shards must beat 1 pinned
+    // shard by >= 1.5x msgs/s. On a single-CPU host the shards serialize
+    // onto one core, so the gate records an honest skip (with host_cpus)
+    // instead of asserting a ratio the hardware cannot produce.
+    let mut gate_status = "not_enforced";
+    let mut gate_ratio = 0.0f64;
+    if args.smoke {
+        if host_cpus >= 2 {
+            let gate_calls = 256;
+            let one = run_one(Mode::Event { shards: 1 }, gate_calls, idle_window, true);
+            let four = run_one(Mode::Event { shards: 4 }, gate_calls, idle_window, true);
+            match (one, four) {
+                (Ok(a), Ok(b)) if a.msgs_per_sec > 0.0 => {
+                    gate_ratio = b.msgs_per_sec / a.msgs_per_sec;
+                    gate_status = if gate_ratio >= 1.5 { "pass" } else { "fail" };
+                    println!(
+                        "multi-core gate: 1->4 shard (pinned) msgs/s ratio {gate_ratio:.2} \
+                         at {gate_calls} calls (host_cpus={host_cpus}) -> {}",
+                        gate_status.to_uppercase()
+                    );
+                    results.push(a);
+                    results.push(b);
+                }
+                (a, b) => {
+                    gate_status = "fail";
+                    for r in [a, b].into_iter().flatten() {
+                        results.push(r);
+                    }
+                    eprintln!("multi-core gate: run failed");
+                }
+            }
+        } else {
+            gate_status = "skipped";
+            println!(
+                "multi-core gate: SKIPPED — host_cpus={host_cpus} < 2; a single core \
+                 cannot express multi-core shard scaling (recorded in acceptance JSON)"
+            );
         }
     }
 
@@ -377,7 +447,9 @@ fn main() -> ExitCode {
          completions\",\n \"harness\": \"scale{}\",\n \"host_cpus\": {},\n \"runs\": [{}\n ],\n \
          \"acceptance\": {{\n  \"shard_msgs_per_sec_ratio_1_to_4_at_{}_calls\": {:.2},\n  \
          \"idle_cpu_ticks_poll_max\": {},\n  \"idle_cpu_ticks_event_max\": {},\n  \
-         \"idle_cpu_poll_over_event\": {:.1}\n }},\n \"notes\": \"Closed-loop SipStone \
+         \"idle_cpu_poll_over_event\": {:.1},\n  \
+         \"multicore_gate\": {{\"status\": \"{}\", \"ratio\": {:.2}, \"host_cpus\": {}}}\n }},\n \
+         \"notes\": \"Closed-loop SipStone \
          transactions (5 messages/call) over the shared socket shim; one server socket per \
          call. Idle CPU = process utime+stime ticks while all calls are held established and \
          the wire is quiet. Shard throughput scaling requires shard workers on separate \
@@ -392,6 +464,9 @@ fn main() -> ExitCode {
         poll_idle,
         event_idle,
         idle_ratio,
+        gate_status,
+        gate_ratio,
+        host_cpus,
     );
     if let Err(e) = fs::write(&args.out, &json) {
         eprintln!("cannot write {}: {e}", args.out);
@@ -409,6 +484,10 @@ fn main() -> ExitCode {
         let ok = results.iter().all(|r| r.established == r.calls);
         if !ok {
             eprintln!("smoke: not every call established");
+            return ExitCode::FAILURE;
+        }
+        if gate_status == "fail" {
+            eprintln!("smoke: multi-core gate failed (ratio {gate_ratio:.2} < 1.5)");
             return ExitCode::FAILURE;
         }
     }

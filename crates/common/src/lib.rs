@@ -38,8 +38,13 @@
 //!   [`ccalgo::CcAlgo::Cubic`] adaptive recovery from `iwarp-cc`), so the
 //!   recovery bench and chaos harness can sweep the algorithms.
 
+//! * [`affinity`] — best-effort CPU pinning for shard/bench worker
+//!   threads (raw `sched_setaffinity`, no-op off Linux) plus the
+//!   `host_cpus` probe benchmark JSON records.
+
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod burstpath;
 pub mod ccalgo;
 pub mod copypath;

@@ -69,12 +69,22 @@ impl PoolStats {
     }
 }
 
+/// Frozen entries probed for reclamation per [`BufPool::get`]. Bounds the
+/// cost of a get when every lent buffer is still referenced: with a deep
+/// in-flight backlog (sender far ahead of receiver) an unbounded scan
+/// walks `PER_CLASS_CAP` cold `Arc`s per allocation and dominates the
+/// datapath. The cursor rotates so every entry is still probed within a
+/// few gets once its views drop.
+const RECLAIM_SCAN: usize = 8;
+
 /// One size class: plain free buffers plus frozen storage waiting for its
 /// views to be dropped.
 #[derive(Default)]
 struct Shard {
     free: Vec<Vec<u8>>,
     lent: Vec<Arc<Vec<u8>>>,
+    /// Rotating reclamation cursor into `lent`.
+    scan: usize,
 }
 
 struct PoolInner {
@@ -138,9 +148,13 @@ impl BufPool {
             }
             Some(class) => {
                 let mut shard = self.inner.shards[class].lock();
-                // Reclaim any frozen storage whose views are all gone.
-                let mut i = 0;
-                while i < shard.lent.len() {
+                // Reclaim frozen storage whose views are all gone —
+                // bounded rotating probe, not a full sweep (see
+                // `RECLAIM_SCAN`).
+                let mut probes = shard.lent.len().min(RECLAIM_SCAN);
+                while probes > 0 && !shard.lent.is_empty() {
+                    probes -= 1;
+                    let i = shard.scan % shard.lent.len();
                     if Arc::strong_count(&shard.lent[i]) == 1 {
                         let arc = shard.lent.swap_remove(i);
                         if let Ok(vec) = Arc::try_unwrap(arc) {
@@ -150,7 +164,7 @@ impl BufPool {
                             }
                         }
                     } else {
-                        i += 1;
+                        shard.scan = shard.scan.wrapping_add(1);
                     }
                 }
                 match shard.free.pop() {

@@ -21,10 +21,10 @@
 //! unaffected by this module (guarded by `tests/chaos.rs`).
 //!
 //! Lock order (must hold pairwise, never reversed):
-//! `fabric.endpoints` → shard inbox → conduit reassembly → RX-core maps
-//! → CQ queue → completion channel. The fabric releases its endpoint
-//! lock before invoking notifiers, so the first edge never actually
-//! nests; it is listed for the audit trail.
+//! fabric control → shard inbox → conduit reassembly → RX-core maps
+//! → CQ queue → completion channel. The fabric invokes arrival
+//! notifiers outside every fabric lock (see DESIGN.md §9), so the first
+//! edge never actually nests; it is listed for the audit trail.
 //!
 //! [`QpConfig::poll_mode`]: crate::qp::QpConfig::poll_mode
 
@@ -60,6 +60,13 @@ pub struct ShardConfig {
     /// expiry latency grows by this amount on top of the QP TTLs
     /// (default 500 ms), which keeps it well inside the same order.
     pub sweep_every: Duration,
+    /// Pin shard worker `i` to CPU core `i % host_cpus` via
+    /// [`iwarp_common::affinity::pin_to_core`]. Advisory: on platforms
+    /// without `sched_setaffinity` workers run unpinned and the
+    /// `core.shard.pinned` counter stays below `shards`. Default off —
+    /// pinning helps steady-state scaling benchmarks and hurts
+    /// oversubscribed hosts.
+    pub pin_cores: bool,
 }
 
 impl Default for ShardConfig {
@@ -69,6 +76,7 @@ impl Default for ShardConfig {
             batch: 64,
             idle_tick: Duration::from_millis(20),
             sweep_every: Duration::from_millis(100),
+            pin_cores: false,
         }
     }
 }
@@ -91,6 +99,8 @@ struct ShardTel {
     requeues: Counter,
     expiry_sweeps: Counter,
     registered: Counter,
+    /// Workers whose `sched_setaffinity` pin actually took effect.
+    pinned: Counter,
 }
 
 struct ShardState {
@@ -141,6 +151,7 @@ impl ShardMap {
             requeues: tel.counter("core.shard.requeues"),
             expiry_sweeps: tel.counter("core.shard.expiry_sweeps"),
             registered: tel.counter("core.shard.registered"),
+            pinned: tel.counter("core.shard.pinned"),
         });
         let shards: Vec<Arc<Shard>> = (0..cfg.shards.max(1))
             .map(|_| {
@@ -164,9 +175,15 @@ impl ShardMap {
                 let batch = cfg.batch.max(1);
                 let tick = cfg.idle_tick;
                 let sweep_every = cfg.sweep_every;
+                let pin = cfg.pin_cores;
                 std::thread::Builder::new()
                     .name(format!("iwarp-shard-{i}"))
-                    .spawn(move || worker(&shard, batch, tick, sweep_every, &tel))
+                    .spawn(move || {
+                        if pin && iwarp_common::affinity::pin_to_core(i) {
+                            tel.pinned.inc();
+                        }
+                        worker(&shard, batch, tick, sweep_every, &tel);
+                    })
                     .expect("spawn shard worker")
             })
             .collect();

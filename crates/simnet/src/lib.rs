@@ -36,6 +36,7 @@ pub mod error;
 pub mod fabric;
 pub mod loss;
 pub mod rdgram;
+pub mod ring;
 pub mod stream;
 pub mod wire;
 

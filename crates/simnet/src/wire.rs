@@ -145,8 +145,16 @@ pub struct WireConfig {
     /// Packet-loss model applied independently to every wire packet.
     pub loss: LossModel,
     /// Seed for the loss model's RNG; a fixed seed reproduces the same
-    /// drop pattern.
+    /// drop pattern. Per-link RNG streams are derived from this root via
+    /// `derive_seed(seed, link_id)`, so each destination link's draw
+    /// sequence is independent of traffic on every other link.
     pub seed: u64,
+    /// Capacity of each bound link's lock-free delivery ring (rounded up
+    /// to a power of two). A full ring never drops or blocks — excess
+    /// packets take a mutex-guarded overflow spill, counted by
+    /// `simnet.fabric.ring_full_retries` — so this knob trades memory
+    /// for how much burst the lock-free fast path absorbs.
+    pub ring_capacity: usize,
 }
 
 impl Default for WireConfig {
@@ -157,6 +165,7 @@ impl Default for WireConfig {
             latency: Duration::ZERO,
             loss: LossModel::None,
             seed: 0x1AAF_D6E4,
+            ring_capacity: 256,
         }
     }
 }
@@ -182,6 +191,7 @@ impl WireConfig {
             latency: Duration::from_micros(5),
             loss: LossModel::None,
             seed: 42,
+            ..Self::default()
         }
     }
 }

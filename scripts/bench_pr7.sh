@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Assemble BENCH_PR7.json — the per-link lock-free fabric acceptance
+# artifact — from real runs of the two harnesses it gates:
+#
+#   * burst: full batched-verbs sweep. Proves the hot transmit path takes
+#     zero shared fabric locks (shared_fabric_locks_* in its acceptance
+#     block) and that single-core small-message msgs/s is no worse than
+#     the PR 5 burst baseline.
+#   * scale: full SIP concurrency matrix with --pin, plus a --smoke run
+#     whose acceptance block carries the multi-core gate result
+#     (pass / fail / skipped with host_cpus).
+#
+# Usage: scripts/bench_pr7.sh [OUT]     (default OUT=BENCH_PR7.json)
+#
+# Assembly is plain shell (printf + cat): the harness outputs are already
+# valid JSON and are embedded verbatim, so no jq dependency is needed.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR7.json}"
+
+mkdir -p target
+echo "==> burst full sweep (per-packet vs burst, zero-shared-lock gate)"
+cargo run --release -p iwarp-bench --bin burst -- --out target/bench_pr7_burst.json
+
+echo "==> scale full matrix, pinned shard workers"
+cargo run --release -p iwarp-bench --bin scale -- --pin \
+    --out target/bench_pr7_scale.json
+
+echo "==> scale smoke: multi-core gate (pass / fail / honest skip)"
+cargo run --release -p iwarp-bench --bin scale -- --smoke --pin \
+    --out target/bench_pr7_scale_smoke.json
+
+host_cpus="$(nproc 2>/dev/null || echo 1)"
+{
+    printf '{\n'
+    printf ' "pr": 7,\n'
+    printf ' "title": "Per-link lock-free fabric: SPSC delivery rings, link-owned RNG state, multi-core shard scaling",\n'
+    printf ' "host_cpus": %s,\n' "$host_cpus"
+    printf ' "notes": "Throughput on shared/virtualized hosts is noisy run to run; judge the burst acceptance cell against a same-host rebuild of the previous tip, not against BENCH_PR5.json figures recorded in an earlier session environment. The hard invariants are exact regardless of host: shared_fabric_locks_* must be 0 on both paths and speedup >= 2x.",\n'
+    printf ' "burst": '
+    cat target/bench_pr7_burst.json
+    printf ',\n "scale": '
+    cat target/bench_pr7_scale.json
+    printf ',\n "scale_smoke": '
+    cat target/bench_pr7_scale_smoke.json
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

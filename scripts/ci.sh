@@ -39,9 +39,10 @@ echo "==> chaos smoke under adaptive congestion control (newreno)"
 cargo run --release -p iwarp-bench --bin chaos -- --plans 25 --cc newreno
 
 echo "==> burst smoke: batched-verbs datapath A/B at the acceptance cell"
-# Fails unless burst-32 x 64 B beats per-packet >= 2x msgs/s with >= 4x
-# fewer fabric lock rounds per message. The committed BENCH_PR5.json is
-# the full sweep; the smoke result goes to target/ so it never clobbers it.
+# Fails unless burst-32 x 64 B beats per-packet >= 2x msgs/s AND both
+# paths take zero shared fabric locks on hot transmit (per-link rings,
+# PR 7). The committed BENCH_PR5.json is the full sweep; the smoke
+# result goes to target/ so it never clobbers it.
 cargo run --release -p iwarp-bench --bin burst -- --smoke --out target/burst_smoke.json
 
 echo "==> recovery smoke: NewReno vs fixed at 1% loss (>= 2x gate)"
@@ -52,7 +53,10 @@ cargo run --release -p iwarp-bench --bin recovery -- --smoke --out target/recove
 
 echo "==> scale smoke: 256 SIP calls, 2 shards, event-driven completions"
 # Bounded concurrency-scaling run (legacy baseline + sharded/event mode);
-# fails if any call fails to establish. Full matrix: bin scale (no flags).
+# fails if any call fails to establish. On hosts with host_cpus >= 2 it
+# additionally gates the PR 7 multi-core ratio: 4 pinned event shards
+# must beat 1 by >= 1.5x msgs/s; single-core hosts record an honest skip
+# (with host_cpus) in the acceptance JSON. Full matrix: bin scale (no flags).
 cargo run --release -p iwarp-bench --bin scale -- --smoke --out target/scale_smoke.json
 
 echo "==> bench smoke: copypath kernels run once (--test mode)"

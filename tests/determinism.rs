@@ -12,7 +12,7 @@ use datagram_iwarp::chaos::{run_plan, ChaosOpts};
 use datagram_iwarp::common::burstpath::BurstPath;
 use datagram_iwarp::common::copypath::CopyPath;
 use datagram_iwarp::common::rng::derive_seed;
-use datagram_iwarp::net::{Fabric, LossModel, NodeId, WireConfig};
+use datagram_iwarp::net::{Addr, Fabric, FaultEvent, FaultPlan, LossModel, NodeId, WireConfig};
 use datagram_iwarp::telemetry::Snapshot;
 use datagram_iwarp::verbs::wr::{RecvWr, SendWr};
 use datagram_iwarp::verbs::{
@@ -313,4 +313,175 @@ fn burst_path_preserves_chaos_fault_traces() {
         assert_eq!(a.verbs, b.verbs, "seed {seed:#x}: verbs summaries diverged");
         assert_eq!(a.socket, b.socket, "seed {seed:#x}: socket summaries diverged");
     }
+}
+
+/// Like [`run_with`], but with a full chaos adversary installed on the
+/// fabric and the shard pool (optionally core-pinned) as the RX engine.
+/// Returns per-QP delivered payloads plus the fabric's injected-fault
+/// trace. Every fault decision happens at transmit time on the single
+/// sender thread against link-owned RNG state, so both outputs must be
+/// byte-stable across shard counts and pinning.
+fn run_chaos_sharded(shards: usize, pin: bool) -> (Vec<Vec<Vec<u8>>>, Vec<FaultEvent>) {
+    let fab = Fabric::new(WireConfig {
+        loss: LossModel::bernoulli(0.05),
+        seed: SEED,
+        ..WireConfig::default()
+    });
+    fab.install_fault_plan(FaultPlan {
+        drop: LossModel::bernoulli(0.05),
+        duplicate: 0.05,
+        reorder: 0.10,
+        corrupt: 0.02,
+        ..FaultPlan::quiet(derive_seed(SEED, 0xC4A0))
+    });
+    let server = Device::with_config(
+        &fab,
+        NodeId(1),
+        DeviceConfig {
+            shard: ShardConfig {
+                pin_cores: pin,
+                ..ShardConfig::with_shards(shards)
+            },
+            ..DeviceConfig::default()
+        },
+    );
+    let qp_cfg = QpConfig {
+        poll_mode: false,
+        copy_path: CopyPath::Sg,
+        ..QpConfig::default()
+    };
+    let mut rx = Vec::new();
+    for _ in 0..QPS {
+        let send_cq = Cq::new(8);
+        let recv_cq = Cq::new(MSGS as usize * 2 + 8);
+        let qp = server
+            .create_ud_qp(None, &send_cq, &recv_cq, qp_cfg.clone())
+            .unwrap();
+        assert!(qp.is_sharded());
+        let mr = server.register(2 * MSGS as usize * SLOT, Access::Local);
+        for i in 0..2 * MSGS as usize {
+            qp.post_recv(RecvWr {
+                wr_id: i as u64,
+                mr: mr.clone(),
+                offset: (i * SLOT) as u64,
+                len: SLOT as u32,
+            })
+            .unwrap();
+        }
+        rx.push((qp, recv_cq, mr));
+    }
+    let dests: Vec<_> = rx.iter().map(|(qp, _, _)| qp.dest()).collect();
+    let client = Device::new(&fab, NodeId(0));
+    let c_send = Cq::new(64);
+    let c_recv = Cq::new(8);
+    let cqp = client
+        .create_ud_qp(
+            None,
+            &c_send,
+            &c_recv,
+            QpConfig {
+                poll_mode: true,
+                copy_path: CopyPath::Sg,
+                ..QpConfig::default()
+            },
+        )
+        .unwrap();
+    for seq in 0..MSGS {
+        for (qi, dest) in dests.iter().enumerate() {
+            let mut payload = vec![0u8; 96];
+            payload[0] = qi as u8;
+            payload[1..5].copy_from_slice(&seq.to_le_bytes());
+            cqp.post_send(u64::from(seq), payload, *dest).unwrap();
+            while c_send.poll().is_some() {}
+        }
+    }
+    fab.chaos_flush();
+
+    let mut out: Vec<Vec<Vec<u8>>> = vec![Vec::new(); QPS];
+    let mut quiet_since = Instant::now();
+    while quiet_since.elapsed() < Duration::from_millis(300) {
+        let mut any = false;
+        for (qi, (_, recv_cq, mr)) in rx.iter().enumerate() {
+            while let Some(cqe) = recv_cq.poll() {
+                if cqe.status != CqeStatus::Success {
+                    continue;
+                }
+                let data = mr
+                    .read_vec(cqe.wr_id * SLOT as u64, cqe.byte_len as usize)
+                    .unwrap();
+                out[qi].push(data);
+                any = true;
+            }
+        }
+        if any {
+            quiet_since = Instant::now();
+        } else {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let trace = fab.fault_trace();
+    (out, trace)
+}
+
+/// The per-link seeding contract across the scale-out axes: a fixed seed
+/// produces byte-identical delivered payloads *and* chaos fault traces
+/// whether the RX side runs 1 shard or 4, pinned or unpinned. Shard
+/// interleaving and scheduler placement must never reach the wire RNGs.
+#[test]
+fn shard_count_and_pinning_do_not_change_bytes_or_faults() {
+    let (base_out, base_trace) = run_chaos_sharded(1, false);
+    let delivered: usize = base_out.iter().map(Vec::len).sum();
+    assert!(delivered > 0, "chaos run delivered nothing");
+    assert!(
+        !base_trace.is_empty(),
+        "fault plan injected nothing — the adversary is not engaged"
+    );
+    for (shards, pin) in [(4, false), (1, true), (4, true)] {
+        let (out, trace) = run_chaos_sharded(shards, pin);
+        assert_eq!(
+            base_out, out,
+            "{shards}-shard pin={pin}: delivered payloads diverged from 1-shard unpinned"
+        );
+        assert_eq!(
+            base_trace, trace,
+            "{shards}-shard pin={pin}: fault trace diverged from 1-shard unpinned"
+        );
+    }
+}
+
+/// The per-link RNG ownership contract at the wire level: link A's loss
+/// draw sequence (and therefore its delivered-packet pattern) is
+/// unchanged when link B's traffic is interleaved between A's sends. On
+/// the old global-RNG fabric, B's rolls advanced A's stream.
+#[test]
+fn link_a_draws_unchanged_by_link_b_traffic() {
+    let pattern_at_a = |with_b: bool| -> Vec<bool> {
+        let fab = Fabric::new(WireConfig {
+            loss: LossModel::bernoulli(0.2),
+            seed: SEED,
+            ..WireConfig::default()
+        });
+        let tx = fab.bind(Addr::new(0, 1)).unwrap();
+        let a = fab.bind(Addr::new(1, 1)).unwrap();
+        let b = fab.bind(Addr::new(2, 1)).unwrap();
+        let mut delivered = Vec::new();
+        for i in 0..400u32 {
+            let before = a.pending();
+            tx.send_to(a.local_addr(), bytes::Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+            delivered.push(a.pending() > before);
+            if with_b {
+                tx.send_to(b.local_addr(), bytes::Bytes::from(vec![0u8; 32]))
+                    .unwrap();
+            }
+        }
+        delivered
+    };
+    let alone = pattern_at_a(false);
+    let shared = pattern_at_a(true);
+    assert!(alone.iter().any(|d| !*d), "20 % loss dropped nothing");
+    assert_eq!(
+        alone, shared,
+        "link B's traffic perturbed link A's loss draw sequence"
+    );
 }
