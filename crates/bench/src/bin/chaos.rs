@@ -111,10 +111,11 @@ fn main() -> ExitCode {
     if let Some(seed) = args.replay {
         let report = run_plan(seed, &opts_from(&args, true));
         println!(
-            "replay seed={seed:#x}: {} fault events (verbs) + {} (socket), \
-             {} violations",
+            "replay seed={seed:#x}: {} fault events (verbs) + {} (socket) + \
+             {} (read), {} violations",
             report.fault_trace.len(),
             report.socket_fault_trace.len(),
+            report.read_fault_trace.len(),
             report.violations.len()
         );
         if args.verbose || !report.ok() {
@@ -137,10 +138,11 @@ fn main() -> ExitCode {
             if args.verbose {
                 println!(
                     "plan {i:>3} seed={seed:#018x} ok — faults: {} verbs / {} socket / \
-                     {} reliable, recv {}+{}exp, wr {} ({} full/{} part), crc_rej {}, \
-                     reliable {}B+{}msgs under {}",
+                     {} read / {} reliable, recv {}+{}exp, wr {} ({} full/{} part), \
+                     crc_rej {}, bulk {}b+{}rp, reliable {}B+{}msgs under {}",
                     report.fault_trace.len(),
                     report.socket_fault_trace.len(),
+                    report.read_fault_trace.len(),
                     report.reliable_fault_trace.len(),
                     report.verbs.recv_success,
                     report.verbs.recv_expired,
@@ -148,6 +150,8 @@ fn main() -> ExitCode {
                     report.verbs.write_success,
                     report.verbs.write_partial,
                     report.verbs.crc_errors,
+                    report.bulk.batches,
+                    report.bulk.reposts,
                     report.reliable.stream_bytes,
                     report.reliable.rd_msgs,
                     iwarp_common::ccalgo::default_algo(),

@@ -14,6 +14,7 @@ use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use iwarp::read::{BulkRead, BulkReadConfig, RecoveryConfig, SignalInterval};
 use iwarp::wr::RecvWr;
 use iwarp::{Access, Cq, Cqe, CqeOpcode, CqeStatus, Device, QpConfig, UdQp};
 use iwarp_common::burstpath::BurstPath;
@@ -29,8 +30,9 @@ use simnet::{
 };
 
 use crate::invariants::{
-    check_conservation, check_cq_discipline, check_datagram_boundaries, check_recv_accounting,
-    check_window_contents, check_write_record_cqes, Violation, WriteWindow,
+    check_conservation, check_cq_discipline, check_datagram_boundaries,
+    check_read_reconciliation, check_recv_accounting, check_window_contents,
+    check_write_record_cqes, PostedRead, Violation, WriteWindow,
 };
 
 /// Byte value guard zones are filled with before the run; any other value
@@ -64,6 +66,8 @@ pub struct ChaosOpts {
     pub read_msgs: usize,
     /// Datagrams in the socket phase.
     pub dgrams: usize,
+    /// Batches the bulk-read phase streams through the read engine.
+    pub bulk_batches: u64,
     /// Collect a telemetry forensic dump (trace + snapshot) for failures.
     pub forensic: bool,
     /// Which batching discipline the QPs under test use. The fault
@@ -84,6 +88,7 @@ impl Default for ChaosOpts {
             write_msgs: 6,
             read_msgs: 2,
             dgrams: 30,
+            bulk_batches: 24,
             forensic: false,
             burst_path: iwarp_common::burstpath::default_path(),
             cc: ccalgo::default_algo(),
@@ -124,6 +129,20 @@ pub struct SocketSummary {
     pub received: usize,
 }
 
+/// Bulk-read-phase outcome counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BulkReadSummary {
+    /// Batches the streaming transfer was split into.
+    pub batches: u64,
+    /// Batch reposts the recovery engine drove to absorb the adversary.
+    pub reposts: u64,
+    /// Standalone reads that delivered data (Success CQE or silent
+    /// retirement).
+    pub solo_success: usize,
+    /// Standalone reads that expired (TTL fired — denied or lost).
+    pub solo_expired: usize,
+}
+
 /// Reliable-phase outcome counts (stream + rdgram under the adversary).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReliableSummary {
@@ -147,6 +166,11 @@ pub struct PlanReport {
     pub fault_trace: Vec<FaultEvent>,
     /// Socket-phase fault trace (deterministic per seed).
     pub socket_fault_trace: Vec<FaultEvent>,
+    /// Bulk-read-phase fault trace. Deterministic per seed: the read
+    /// engine runs on a synthetic loop-counter clock with a fixed drive
+    /// order, so even its RTO-driven repost schedule replays
+    /// byte-for-byte.
+    pub read_fault_trace: Vec<FaultEvent>,
     /// Reliable-phase fault trace. Diagnostic only: retransmission timing
     /// is wall-clock, so unlike the verbs/socket traces the reliable
     /// packet schedule is not replay-stable.
@@ -155,6 +179,8 @@ pub struct PlanReport {
     pub verbs: VerbsSummary,
     /// Socket-phase outcome counts.
     pub socket: SocketSummary,
+    /// Bulk-read-phase outcome counts.
+    pub bulk: BulkReadSummary,
     /// Reliable-phase outcome counts.
     pub reliable: ReliableSummary,
     /// Telemetry forensics, when [`ChaosOpts::forensic`] was set.
@@ -185,9 +211,10 @@ impl PlanReport {
         }
         let _ = writeln!(
             s,
-            "fault trace ({} verbs events, {} socket events, {} reliable events):",
+            "fault trace ({} verbs events, {} socket events, {} read events, {} reliable events):",
             self.fault_trace.len(),
             self.socket_fault_trace.len(),
+            self.read_fault_trace.len(),
             self.reliable_fault_trace.len()
         );
         for e in &self.fault_trace {
@@ -195,6 +222,9 @@ impl PlanReport {
         }
         for e in &self.socket_fault_trace {
             let _ = writeln!(s, "  [socket] {e}");
+        }
+        for e in &self.read_fault_trace {
+            let _ = writeln!(s, "  [read]   {e}");
         }
         if let Some(f) = &self.forensic {
             let _ = writeln!(s, "{f}");
@@ -620,6 +650,289 @@ pub fn run_plan(seed: u64, opts: &ChaosOpts) -> PlanReport {
         )
     };
 
+    // ---- Bulk-read phase -------------------------------------------
+    // The streaming read engine under the adversary: the transfer must
+    // complete byte-exactly (drops, corruption and reorder absorbed by
+    // scoreboard reposts — CRC rejections surface as missing segments
+    // the engine re-fetches), place nothing outside its sink window,
+    // and never overflow the deliberately small receive CQ. Standalone
+    // reads then reconcile terminal states: every posted read ends in
+    // exactly one of {Success CQE, Expired CQE, silent retirement}.
+    let (bulk, read_fault_trace) = {
+        let bfab = Fabric::new(WireConfig::default());
+        bfab.install_fault_plan(FaultPlan::from_seed(derive_seed(seed, 8)));
+        let bcfg = QpConfig {
+            poll_mode: true,
+            // Loss recovery is the engine's job; the TTL is a backstop
+            // that must not race the repost schedule.
+            read_ttl: Duration::from_secs(30),
+            copy_path: if seed.is_multiple_of(2) {
+                CopyPath::Sg
+            } else {
+                CopyPath::Legacy
+            },
+            burst_path: opts.burst_path,
+            ..QpConfig::default()
+        };
+        let ba = Device::new(&bfab, NodeId(0));
+        let bb = Device::new(&bfab, NodeId(1));
+        // Small on purpose: the signal-placement admission rule is live.
+        let bulk_recv = Cq::new(8);
+        let bqa = ba
+            .create_ud_qp(None, &Cq::new(256), &bulk_recv, bcfg.clone())
+            .expect("create bulk requester");
+        let bqb = bb
+            .create_ud_qp(None, &Cq::new(256), &Cq::new(256), bcfg.clone())
+            .expect("create bulk responder");
+
+        const BULK_BATCH: u32 = 8 * 1024;
+        const BULK_GUARD: usize = 4 * 1024;
+        let total = (opts.bulk_batches * u64::from(BULK_BATCH)) as usize;
+        let bulk_src_data = msg_bytes(derive_seed(seed, 700), total);
+        let bulk_src = bb.register_with(&bulk_src_data, Access::RemoteRead);
+        let bulk_sink = ba.register(total + 2 * BULK_GUARD, Access::Local);
+        bulk_sink.fill(SENTINEL);
+
+        let mut xfer = BulkRead::new(
+            BulkReadConfig {
+                batch_bytes: BULK_BATCH,
+                window: 8,
+                signal: SignalInterval::Every(2),
+                recovery: RecoveryConfig {
+                    initial_rto: Duration::from_millis(40),
+                    min_rto: Duration::from_millis(20),
+                    max_rto: Duration::from_millis(400),
+                    // Partition windows run up to 44 packets (see the
+                    // reliable phase); budget retries above that.
+                    max_retries: 64,
+                    ..RecoveryConfig::default()
+                },
+                base_wr_id: 3000,
+            },
+            &bulk_sink,
+            BULK_GUARD as u64,
+            total as u64,
+            bqb.dest(),
+            bulk_src.stag(),
+            0,
+        );
+        let mut summary = BulkReadSummary {
+            batches: xfer.batches(),
+            ..BulkReadSummary::default()
+        };
+
+        // Fixed drive order on a synthetic loop-counter clock: the
+        // iteration count is the only time source the engine sees, so
+        // the repost schedule — and with it the fault trace — replays
+        // byte-for-byte per seed.
+        let mut finished = false;
+        for iter in 0..40_000u64 {
+            bqb.progress_burst(1024, Duration::ZERO);
+            bqa.progress_burst(1024, Duration::ZERO);
+            match xfer.step(&bqa, Duration::from_millis(iter)) {
+                Ok(true) => {
+                    finished = true;
+                    break;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    violations.push(Violation {
+                        invariant: "bulk-read-liveness",
+                        detail: format!("engine error: {e:?}"),
+                    });
+                    break;
+                }
+            }
+        }
+        let report = xfer.report();
+        summary.reposts = report.reposts;
+        if !finished || report.dead {
+            violations.push(Violation {
+                invariant: "bulk-read-liveness",
+                detail: format!(
+                    "transfer did not complete (finished={finished} dead={} \
+                     {}/{} batches, {} reposts)",
+                    report.dead,
+                    xfer.completed(),
+                    xfer.batches(),
+                    report.reposts
+                ),
+            });
+        }
+        if let Err(d) = xfer.check_scoreboard() {
+            violations.push(Violation {
+                invariant: "bulk-read-scoreboard",
+                detail: d,
+            });
+        }
+        if bulk_recv.overflows() != 0 {
+            violations.push(Violation {
+                invariant: "read-cq-admission",
+                detail: format!(
+                    "{} completions dropped from the capacity-{} read CQ",
+                    bulk_recv.overflows(),
+                    bulk_recv.capacity()
+                ),
+            });
+        }
+        if finished && !report.dead {
+            let got = bulk_sink
+                .read_vec(BULK_GUARD as u64, total)
+                .expect("bulk sink read in bounds");
+            if got != bulk_src_data {
+                violations.push(Violation {
+                    invariant: "read-content",
+                    detail: "bulk transfer delivered wrong bytes".into(),
+                });
+            }
+        }
+        // Placement bounds: inside the transfer window every byte is
+        // source-or-sentinel; the guard zones stay untouched.
+        violations.extend(check_window_contents(
+            &bulk_sink,
+            &[WriteWindow {
+                stag: bulk_sink.stag(),
+                base_to: BULK_GUARD as u64,
+                data: bulk_src_data.clone(),
+            }],
+            SENTINEL,
+        ));
+
+        // Standalone reads on the same adversarial fabric, short-TTL QPs:
+        // two against readable memory (signaled + unsignaled), two
+        // against a Local-only region the responder must deny.
+        let solo_cfg = QpConfig {
+            poll_mode: true,
+            read_ttl: Duration::from_millis(150),
+            burst_path: opts.burst_path,
+            ..QpConfig::default()
+        };
+        let solo_recv = Cq::new(8);
+        let sqa = ba
+            .create_ud_qp(None, &Cq::new(64), &solo_recv, solo_cfg.clone())
+            .expect("create solo requester");
+        let sqb = bb
+            .create_ud_qp(None, &Cq::new(64), &Cq::new(64), solo_cfg)
+            .expect("create solo responder");
+        let denied = bb.register(8 * 1024, Access::Local);
+        const SOLO_LEN: u32 = 6000;
+        const SOLO_SLOT: u64 = 16 * 1024;
+        let solo_sink = ba.register(4 * SOLO_SLOT as usize, Access::Local);
+        solo_sink.fill(SENTINEL);
+        let posted_reads = [
+            PostedRead { wr_id: 4000, signaled: true, len: SOLO_LEN },
+            PostedRead { wr_id: 4001, signaled: false, len: SOLO_LEN },
+            PostedRead { wr_id: 4002, signaled: true, len: SOLO_LEN },
+            PostedRead { wr_id: 4003, signaled: false, len: SOLO_LEN },
+        ];
+        sqa.post_read(4000, &solo_sink, 0, SOLO_LEN, sqb.dest(), bulk_src.stag(), 0)
+            .expect("post solo read");
+        sqa.post_read_unsignaled(
+            4001,
+            &solo_sink,
+            SOLO_SLOT,
+            SOLO_LEN,
+            sqb.dest(),
+            bulk_src.stag(),
+            u64::from(SOLO_LEN),
+        )
+        .expect("post solo read");
+        sqa.post_read(4002, &solo_sink, 2 * SOLO_SLOT, SOLO_LEN, sqb.dest(), denied.stag(), 0)
+            .expect("post solo read");
+        sqa.post_read_unsignaled(
+            4003,
+            &solo_sink,
+            3 * SOLO_SLOT,
+            SOLO_LEN,
+            sqb.dest(),
+            denied.stag(),
+            0,
+        )
+        .expect("post solo read");
+
+        let mut solo_cqes: Vec<Cqe> = Vec::new();
+        let mut solo_retired: Vec<u64> = Vec::new();
+        let deadline = Instant::now() + DEADLINE;
+        while solo_cqes.len() + solo_retired.len() < posted_reads.len()
+            && Instant::now() < deadline
+        {
+            sqb.progress_burst(64, Duration::from_millis(1));
+            sqa.progress_burst(64, Duration::from_millis(1));
+            while let Some(c) = solo_recv.poll() {
+                solo_cqes.push(c);
+            }
+            solo_retired.extend(sqa.take_retired_reads());
+        }
+        // Settle: a buggy double terminal would arrive late.
+        let settle = Instant::now() + Duration::from_millis(120);
+        while Instant::now() < settle {
+            sqb.progress_burst(64, Duration::from_millis(1));
+            sqa.progress_burst(64, Duration::from_millis(1));
+            while let Some(c) = solo_recv.poll() {
+                solo_cqes.push(c);
+            }
+            solo_retired.extend(sqa.take_retired_reads());
+        }
+        violations.extend(check_read_reconciliation(&posted_reads, &solo_cqes, &solo_retired));
+        // Delivered solo reads must hold the exact source bytes; expired
+        // ones may be partial (source-or-sentinel, checked below).
+        let mut solo_windows: Vec<WriteWindow> = Vec::new();
+        for (slot, src_off) in [(0u64, 0usize), (1, SOLO_LEN as usize)] {
+            solo_windows.push(WriteWindow {
+                stag: solo_sink.stag(),
+                base_to: slot * SOLO_SLOT,
+                data: bulk_src_data[src_off..src_off + SOLO_LEN as usize].to_vec(),
+            });
+        }
+        for c in &solo_cqes {
+            if c.status != CqeStatus::Success {
+                continue;
+            }
+            let got = solo_sink
+                .read_vec(0, SOLO_LEN as usize)
+                .expect("solo window in bounds");
+            if c.wr_id == 4000 && got != bulk_src_data[..SOLO_LEN as usize] {
+                violations.push(Violation {
+                    invariant: "read-content",
+                    detail: "solo read wr_id=4000 delivered wrong bytes".into(),
+                });
+            }
+        }
+        if solo_retired.contains(&4001) {
+            let got = solo_sink
+                .read_vec(SOLO_SLOT, SOLO_LEN as usize)
+                .expect("solo window in bounds");
+            if got != bulk_src_data[SOLO_LEN as usize..2 * SOLO_LEN as usize] {
+                violations.push(Violation {
+                    invariant: "read-content",
+                    detail: "solo read wr_id=4001 retired with wrong bytes".into(),
+                });
+            }
+        }
+        violations.extend(check_window_contents(&solo_sink, &solo_windows, SENTINEL));
+        summary.solo_success = solo_cqes
+            .iter()
+            .filter(|c| c.status == CqeStatus::Success)
+            .count()
+            + solo_retired.len();
+        summary.solo_expired = solo_cqes
+            .iter()
+            .filter(|c| c.status == CqeStatus::Expired)
+            .count();
+
+        // Release reorder holds, drain what lands, then audit packet
+        // conservation over the whole phase.
+        bfab.chaos_flush();
+        for _ in 0..50 {
+            bqb.progress_burst(1024, Duration::ZERO);
+            bqa.progress_burst(1024, Duration::ZERO);
+            sqb.progress_burst(64, Duration::ZERO);
+            sqa.progress_burst(64, Duration::ZERO);
+        }
+        violations.extend(check_conservation(&bfab));
+        (summary, bfab.fault_trace())
+    };
+
     // ---- Reliable phase --------------------------------------------
     // Streams and reliable datagrams under the adversary: loss,
     // duplication and reordering must be fully absorbed by retransmission
@@ -773,9 +1086,11 @@ pub fn run_plan(seed: u64, opts: &ChaosOpts) -> PlanReport {
         violations,
         fault_trace,
         socket_fault_trace,
+        read_fault_trace,
         reliable_fault_trace,
         verbs,
         socket,
+        bulk,
         reliable,
         forensic,
     }

@@ -334,6 +334,112 @@ pub fn check_datagram_boundaries(sent: &[Vec<u8>], received: &[Vec<u8>]) -> Vec<
     out
 }
 
+/// One standalone one-sided read posted for terminal-state
+/// reconciliation (see [`check_read_reconciliation`]).
+pub struct PostedRead {
+    /// The work-request id the read was posted under.
+    pub wr_id: u64,
+    /// Posted with a completion requested (`post_read`) or silent on
+    /// success (`post_read_unsignaled`).
+    pub signaled: bool,
+    /// Requested read length.
+    pub len: u32,
+}
+
+/// **Read validity ↔ completion reconciliation.** Every posted
+/// one-sided read reaches *exactly one* terminal state:
+/// * a signaled read surfaces one `RdmaRead` CQE — `Success` with
+///   `byte_len` equal to the requested length (the validity map covered
+///   the whole read) or `Expired` (the TTL fired first) — and is never
+///   silently retired;
+/// * an unsignaled read is either silently retired (success) or
+///   surfaces an `Expired` CQE — suppression is success-only, errors
+///   always complete;
+/// * no completion or retirement names a read that was never posted,
+///   and none happens twice.
+#[must_use]
+pub fn check_read_reconciliation(
+    posted: &[PostedRead],
+    cqes: &[Cqe],
+    retired: &[u64],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let by_id: HashMap<u64, &PostedRead> = posted.iter().map(|p| (p.wr_id, p)).collect();
+    let mut terminals: HashMap<u64, u32> = HashMap::new();
+    for cqe in cqes {
+        if cqe.opcode != CqeOpcode::RdmaRead {
+            out.push(violation(
+                "read-reconciliation",
+                format!("unexpected {:?} on the read CQ", cqe.opcode),
+            ));
+            continue;
+        }
+        let Some(p) = by_id.get(&cqe.wr_id) else {
+            out.push(violation(
+                "read-reconciliation",
+                format!("completion for never-posted read wr_id={}", cqe.wr_id),
+            ));
+            continue;
+        };
+        match cqe.status {
+            CqeStatus::Success => {
+                if !p.signaled {
+                    out.push(violation(
+                        "read-reconciliation",
+                        format!("unsignaled read wr_id={} surfaced a Success CQE", cqe.wr_id),
+                    ));
+                }
+                if cqe.byte_len != p.len {
+                    out.push(violation(
+                        "read-reconciliation",
+                        format!(
+                            "read wr_id={} Success with byte_len {} != requested {}",
+                            cqe.wr_id, cqe.byte_len, p.len
+                        ),
+                    ));
+                }
+            }
+            CqeStatus::Expired => {}
+            other => out.push(violation(
+                "read-reconciliation",
+                format!("read wr_id={} completed with {other:?}", cqe.wr_id),
+            )),
+        }
+        *terminals.entry(cqe.wr_id).or_insert(0) += 1;
+    }
+    for id in retired {
+        match by_id.get(id) {
+            None => out.push(violation(
+                "read-reconciliation",
+                format!("retirement for never-posted read wr_id={id}"),
+            )),
+            Some(p) if p.signaled => out.push(violation(
+                "read-reconciliation",
+                format!("signaled read wr_id={id} was silently retired"),
+            )),
+            Some(_) => {}
+        }
+        *terminals.entry(*id).or_insert(0) += 1;
+    }
+    for p in posted {
+        match terminals.get(&p.wr_id).copied().unwrap_or(0) {
+            0 => out.push(violation(
+                "read-reconciliation",
+                format!(
+                    "read wr_id={} reached no terminal state (lost without an Expired CQE)",
+                    p.wr_id
+                ),
+            )),
+            1 => {}
+            n => out.push(violation(
+                "read-reconciliation",
+                format!("read wr_id={} reached {n} terminal states", p.wr_id),
+            )),
+        }
+    }
+    out
+}
+
 /// **Receive-buffer accounting.** Work requests never leak: every posted
 /// receive is either consumed by a completion, expired, or still posted.
 #[must_use]
@@ -440,5 +546,67 @@ mod tests {
         let sent = vec![vec![1, 2]];
         let received = vec![vec![1, 2], vec![1, 2]];
         assert!(check_datagram_boundaries(&sent, &received).is_empty());
+    }
+
+    fn read_cqe(wr_id: u64, status: CqeStatus, byte_len: u32) -> Cqe {
+        Cqe {
+            wr_id,
+            opcode: CqeOpcode::RdmaRead,
+            status,
+            byte_len,
+            src: None,
+            write_record: None,
+            imm: None,
+            solicited: false,
+        }
+    }
+
+    #[test]
+    fn read_terminals_reconcile() {
+        let posted = [
+            PostedRead { wr_id: 1, signaled: true, len: 100 },
+            PostedRead { wr_id: 2, signaled: false, len: 100 },
+            PostedRead { wr_id: 3, signaled: false, len: 100 },
+        ];
+        // Signaled success, silent retirement, unsignaled expiry: clean.
+        let cqes = [
+            read_cqe(1, CqeStatus::Success, 100),
+            read_cqe(3, CqeStatus::Expired, 0),
+        ];
+        assert!(check_read_reconciliation(&posted, &cqes, &[2]).is_empty());
+    }
+
+    #[test]
+    fn silently_lost_read_is_caught() {
+        let posted = [PostedRead { wr_id: 7, signaled: true, len: 64 }];
+        let v = check_read_reconciliation(&posted, &[], &[]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("no terminal state"));
+    }
+
+    #[test]
+    fn double_terminal_read_is_caught() {
+        let posted = [PostedRead { wr_id: 7, signaled: false, len: 64 }];
+        // Retired AND expired: the engine resolved one read twice.
+        let v = check_read_reconciliation(&posted, &[read_cqe(7, CqeStatus::Expired, 0)], &[7]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("2 terminal states"));
+    }
+
+    #[test]
+    fn unsignaled_success_cqe_is_caught() {
+        // An unsignaled read must retire silently, not complete.
+        let posted = [PostedRead { wr_id: 9, signaled: false, len: 64 }];
+        let v = check_read_reconciliation(&posted, &[read_cqe(9, CqeStatus::Success, 64)], &[]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("Success CQE"));
+    }
+
+    #[test]
+    fn short_success_read_is_caught() {
+        let posted = [PostedRead { wr_id: 4, signaled: true, len: 100 }];
+        let v = check_read_reconciliation(&posted, &[read_cqe(4, CqeStatus::Success, 60)], &[]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("byte_len 60"));
     }
 }

@@ -126,6 +126,7 @@ struct CqTel {
     flushed: Counter,
     error: Counter,
     overflow: Counter,
+    unsignaled_retired: Counter,
     poll_wait_nanos: Histogram,
 }
 
@@ -137,6 +138,8 @@ struct CqInner {
     solicited_seq: AtomicU64,
     capacity: usize,
     overflows: AtomicU64,
+    /// Completions retired without a CQE because the WR was unsignaled.
+    unsignaled_retired: AtomicU64,
     tel: OnceLock<CqTel>,
     /// Event subscription: every push notifies the channel under the
     /// token (see [`Cq::attach_channel`]).
@@ -161,6 +164,7 @@ impl Cq {
                 solicited_seq: AtomicU64::new(0),
                 capacity: capacity.max(1),
                 overflows: AtomicU64::new(0),
+                unsignaled_retired: AtomicU64::new(0),
                 tel: OnceLock::new(),
                 chan: Mutex::new(None),
             }),
@@ -182,6 +186,7 @@ impl Cq {
             flushed: tel.counter("core.cq.cqe_flushed"),
             error: tel.counter("core.cq.cqe_error"),
             overflow: tel.counter("core.cq.overflows"),
+            unsignaled_retired: tel.counter("core.cq.unsignaled_retired"),
             poll_wait_nanos: tel.histogram("core.cq.poll_wait_nanos"),
         });
     }
@@ -419,6 +424,37 @@ impl Cq {
     #[must_use]
     pub fn overflows(&self) -> u64 {
         self.inner.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of outstanding entries this CQ can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Entries that could be pushed right now without overflowing.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.inner.capacity.saturating_sub(self.len())
+    }
+
+    /// Records `n` work completions retired *without* a CQE because their
+    /// WR was posted unsignaled (selective signaling, `sq_sig_all=0`).
+    /// Exported as `core.cq.unsignaled_retired`.
+    pub fn retire_unsignaled(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.inner.unsignaled_retired.fetch_add(n, Ordering::Relaxed);
+        if let Some(t) = self.inner.tel.get() {
+            t.unsignaled_retired.add(n);
+        }
+    }
+
+    /// Completions retired without a CQE since creation (unsignaled WRs).
+    #[must_use]
+    pub fn unsignaled_retired(&self) -> u64 {
+        self.inner.unsignaled_retired.load(Ordering::Relaxed)
     }
 }
 

@@ -46,7 +46,9 @@ pub mod error;
 pub mod hdr;
 pub mod mpa;
 pub mod qp;
+pub mod read;
 pub mod shard;
+pub mod signal;
 pub mod wr;
 pub mod wr_record;
 
@@ -57,5 +59,7 @@ pub use device::{Device, DeviceConfig};
 pub use shard::{ShardConfig, ShardMap};
 pub use error::{IwarpError, IwarpResult};
 pub use qp::{QpConfig, RcListener, RcQp, RdQp, UdQp};
+pub use read::{BulkRead, BulkReadConfig, BulkReadReport, SignalInterval};
+pub use signal::place_signals;
 pub use wr::{SendWr, UdDest};
 pub use wr_record::WriteRecordInfo;

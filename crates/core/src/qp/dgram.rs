@@ -428,7 +428,7 @@ impl DatagramQp {
         payload: impl Into<SendPayload>,
         dest: UdDest,
     ) -> IwarpResult<()> {
-        self.post_send_inner(wr_id, payload.into(), dest, false)
+        self.post_send_inner(wr_id, payload.into(), dest, false, true)
     }
 
     /// Posts a **send with solicited event**: identical to
@@ -442,7 +442,18 @@ impl DatagramQp {
         payload: impl Into<SendPayload>,
         dest: UdDest,
     ) -> IwarpResult<()> {
-        self.post_send_inner(wr_id, payload.into(), dest, true)
+        self.post_send_inner(wr_id, payload.into(), dest, true, true)
+    }
+
+    /// Posts a single [`SendWr`], honoring its `solicited` **and**
+    /// `signaled` flags. An unsignaled WR retires silently on success
+    /// (counted in `core.cq.unsignaled_retired`); a mid-message flush
+    /// failure always surfaces an error CQE regardless of the flag. The
+    /// CQ-occupancy-aware placement policy applies to *chains*
+    /// ([`Self::post_send_batch`]) only — a lone unsignaled WR cannot
+    /// deadlock a CQ by itself.
+    pub fn post_send_wr(&self, wr: &SendWr) -> IwarpResult<()> {
+        self.post_send_inner(wr.wr_id, wr.payload.clone(), wr.dest, wr.solicited, wr.signaled)
     }
 
     /// Posts a batch of untagged sends — the multi-WR doorbell.
@@ -461,13 +472,38 @@ impl DatagramQp {
     /// destination whose *flush* fails completes that destination's WRs
     /// with [`CqeStatus::Error`] and the first such error returns after
     /// the whole batch is flushed.
+    ///
+    /// Selective signaling: each WR's `signaled` flag is first run
+    /// through [`crate::signal::place_signals`] against the send CQ's
+    /// capacity and occupancy, so an unsignaled chain can never deadlock
+    /// a full CQ. Effective-unsignaled WRs produce no success CQE
+    /// (retired under `core.cq.unsignaled_retired`); flush errors
+    /// complete with a CQE regardless. The all-signaled default leaves
+    /// the CQE stream bit-for-bit identical to the legacy behavior, on
+    /// both datapaths.
     pub fn post_send_batch(&self, wrs: &[SendWr]) -> IwarpResult<()> {
+        // Effective signal flags are decided once, at doorbell time, from
+        // the same occupancy snapshot on both datapaths.
+        let flags: Vec<bool> = {
+            let app: Vec<bool> = wrs.iter().map(|w| w.signaled).collect();
+            crate::signal::place_signals(
+                &app,
+                self.inner.send_cq.capacity(),
+                self.inner.send_cq.len(),
+            )
+        };
         let burst = self.inner.burst_path == BurstPath::Burst
             && self.inner.copy_path == CopyPath::Sg
             && matches!(self.inner.llp, DgLlp::Ud(_));
         if !burst || wrs.len() <= 1 {
-            for wr in wrs {
-                self.post_send_inner(wr.wr_id, wr.payload.clone(), wr.dest, wr.solicited)?;
+            for (wr, signaled) in wrs.iter().zip(&flags) {
+                self.post_send_inner(
+                    wr.wr_id,
+                    wr.payload.clone(),
+                    wr.dest,
+                    wr.solicited,
+                    *signaled,
+                )?;
             }
             return Ok(());
         }
@@ -479,8 +515,8 @@ impl DatagramQp {
         // the doorbell come out of one pooled arena
         // ([`UntaggedSegBatch`]) — one pool lock per batch.
         let mut result = Ok(());
-        let mut datas: Vec<(u64, Bytes, Addr, bool)> = Vec::with_capacity(wrs.len());
-        for wr in wrs {
+        let mut datas: Vec<(u64, Bytes, Addr, bool, bool)> = Vec::with_capacity(wrs.len());
+        for (wr, signaled) in wrs.iter().zip(&flags) {
             let data = match wr.payload.clone().into_bytes() {
                 Ok(d) => d,
                 Err(e) => {
@@ -495,20 +531,23 @@ impl DatagramQp {
                 });
                 break;
             }
-            datas.push((wr.wr_id, data, wr.dest.addr, wr.solicited));
+            datas.push((wr.wr_id, data, wr.dest.addr, wr.solicited, *signaled));
         }
         let cap = self.untagged_seg_capacity();
-        let n_segs: usize = datas.iter().map(|(_, d, _, _)| d.len().div_ceil(cap).max(1)).sum();
+        let n_segs: usize = datas
+            .iter()
+            .map(|(_, d, _, _, _)| d.len().div_ceil(cap).max(1))
+            .sum();
         // Segment every WR, grouping segments per destination in
         // first-seen order. Most batches hit one or two destinations, so
         // a linear scan beats hashing.
         let mut dests: Vec<(Addr, Vec<SgBytes>)> = Vec::new();
         let mut seg_dis: Vec<usize> = Vec::with_capacity(n_segs);
         let mut enc = UntaggedSegBatch::new(&self.inner.pool, n_segs);
-        // (wr_id, total_len, destination slot) — enough to build the
-        // CQEs once the flush outcome per destination is known.
-        let mut posted: Vec<(u64, u32, usize)> = Vec::with_capacity(datas.len());
-        for (wr_id, data, addr, solicited) in datas {
+        // (wr_id, total_len, destination slot, signaled) — enough to
+        // build the CQEs once the flush outcome per destination is known.
+        let mut posted: Vec<(u64, u32, usize, bool)> = Vec::with_capacity(datas.len());
+        for (wr_id, data, addr, solicited, signaled) in datas {
             let msg_id = self.inner.next_msg_id.fetch_add(1, Ordering::Relaxed);
             let msn = self.inner.next_msn.fetch_add(1, Ordering::Relaxed);
             let total = data.len() as u32;
@@ -543,7 +582,7 @@ impl DatagramQp {
                 }
                 mo = end;
             }
-            posted.push((wr_id, total, di));
+            posted.push((wr_id, total, di, signaled));
         }
         for (sg, di) in enc.finish().into_iter().zip(seg_dis) {
             dests[di].1.push(sg);
@@ -560,24 +599,34 @@ impl DatagramQp {
             }
         }
         // All completions in WR order under one CQ lock/notify round.
+        // Unsignaled WRs whose flush succeeded retire without a CQE;
+        // flush errors always surface one.
+        let mut retired = 0u64;
         let cqes = posted
             .into_iter()
-            .map(|(wr_id, total, di)| Cqe {
-                wr_id,
-                opcode: CqeOpcode::Send,
-                status: if flushed[di] {
-                    CqeStatus::Success
-                } else {
-                    CqeStatus::Error
-                },
-                byte_len: total,
-                src: None,
-                write_record: None,
-                imm: None,
-                solicited: false,
+            .filter_map(|(wr_id, total, di, signaled)| {
+                if flushed[di] && !signaled {
+                    retired += 1;
+                    return None;
+                }
+                Some(Cqe {
+                    wr_id,
+                    opcode: CqeOpcode::Send,
+                    status: if flushed[di] {
+                        CqeStatus::Success
+                    } else {
+                        CqeStatus::Error
+                    },
+                    byte_len: total,
+                    src: None,
+                    write_record: None,
+                    imm: None,
+                    solicited: false,
+                })
             })
             .collect();
         self.inner.send_cq.push_batch(cqes);
+        self.inner.send_cq.retire_unsignaled(retired);
         result
     }
 
@@ -587,6 +636,7 @@ impl DatagramQp {
         payload: SendPayload,
         dest: UdDest,
         solicited: bool,
+        signaled: bool,
     ) -> IwarpResult<()> {
         let data = payload.into_bytes()?;
         if data.len() > self.inner.max_msg_size {
@@ -638,16 +688,20 @@ impl DatagramQp {
             }
             mo = end;
         }
-        self.inner.send_cq.push(Cqe {
-            wr_id,
-            opcode: CqeOpcode::Send,
-            status: CqeStatus::Success,
-            byte_len: total,
-            src: None,
-            write_record: None,
-        imm: None,
-        solicited: false,
-        });
+        if signaled {
+            self.inner.send_cq.push(Cqe {
+                wr_id,
+                opcode: CqeOpcode::Send,
+                status: CqeStatus::Success,
+                byte_len: total,
+                src: None,
+                write_record: None,
+                imm: None,
+                solicited: false,
+            });
+        } else {
+            self.inner.send_cq.retire_unsignaled(1);
+        }
         Ok(())
     }
 
@@ -814,6 +868,49 @@ impl DatagramQp {
         remote_stag: u32,
         remote_to: u64,
     ) -> IwarpResult<()> {
+        self.post_read_inner(wr_id, sink, sink_to, len, dest, remote_stag, remote_to, true)
+    }
+
+    /// Posts an **unsignaled** RDMA Read: on success no CQE is generated —
+    /// the completed `wr_id` is instead retired into a drainable list
+    /// ([`Self::take_retired_reads`]) and counted under
+    /// `core.cq.unsignaled_retired`. A read that *expires* (response lost
+    /// past the read TTL) always surfaces an [`CqeStatus::Expired`] CQE,
+    /// signaled or not — errors are never silent. This is the
+    /// `sq_sig_all=0` discipline for the streaming-read engine
+    /// ([`crate::read::BulkRead`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_read_unsignaled(
+        &self,
+        wr_id: u64,
+        sink: &MemoryRegion,
+        sink_to: u64,
+        len: u32,
+        dest: UdDest,
+        remote_stag: u32,
+        remote_to: u64,
+    ) -> IwarpResult<()> {
+        self.post_read_inner(wr_id, sink, sink_to, len, dest, remote_stag, remote_to, false)
+    }
+
+    /// Completed unsignaled reads' `wr_id`s, drained in completion order.
+    #[must_use]
+    pub fn take_retired_reads(&self) -> Vec<u64> {
+        self.inner.rx.take_retired_reads()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn post_read_inner(
+        &self,
+        wr_id: u64,
+        sink: &MemoryRegion,
+        sink_to: u64,
+        len: u32,
+        dest: UdDest,
+        remote_stag: u32,
+        remote_to: u64,
+        signaled: bool,
+    ) -> IwarpResult<()> {
         // Validate the sink locally before emitting the request.
         sink.read_bytes(sink_to, 0)?;
         if u64::from(len) + sink_to > sink.len() as u64 {
@@ -826,7 +923,7 @@ impl DatagramQp {
         let msg_id = self.inner.next_msg_id.fetch_add(1, Ordering::Relaxed);
         self.inner.rx.register_read(
             msg_id,
-            RxCore::new_pending_read(wr_id, sink.clone(), sink_to, len),
+            RxCore::new_pending_read(wr_id, sink.clone(), sink_to, len, signaled),
         );
         let req = ReadRequest {
             sink_stag: sink.stag(),

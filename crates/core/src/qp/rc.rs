@@ -452,7 +452,7 @@ impl RcQp {
         let msg_id = self.inner.next_msg_id.fetch_add(1, Ordering::Relaxed);
         self.inner.rx.register_read(
             msg_id,
-            RxCore::new_pending_read(wr_id, sink.clone(), sink_to, len),
+            RxCore::new_pending_read(wr_id, sink.clone(), sink_to, len, true),
         );
         let req = ReadRequest {
             sink_stag: sink.stag(),

@@ -153,6 +153,9 @@ pub(crate) struct PendingRead {
     pub len: u32,
     validity: ValidityMap,
     first_seen: Instant,
+    /// Generate a CQE on successful completion (selective signaling).
+    /// Expiry always produces a CQE regardless.
+    signaled: bool,
 }
 
 /// The shared receive-side engine state.
@@ -171,6 +174,11 @@ pub(crate) struct RxCore {
     pending_recv: Mutex<HashMap<(Addr, u32, u64), PendingRecv>>,
     records: RecordTable,
     pending_reads: Mutex<HashMap<u64, PendingRead>>,
+    /// `wr_id`s of completed *unsignaled* reads, in completion order,
+    /// awaiting [`Self::take_retired_reads`]. Reads complete out of
+    /// order, so suppressed completions are reported as a drainable list
+    /// rather than a high-water mark.
+    retired_reads: Mutex<Vec<u64>>,
     next_sweep: Mutex<Instant>,
     /// When set, completions are staged in `staged` instead of pushed
     /// individually; the burst drains flush them with one
@@ -199,6 +207,7 @@ impl RxCore {
             rq: Mutex::new(VecDeque::new()),
             pending_recv: Mutex::new(HashMap::new()),
             pending_reads: Mutex::new(HashMap::new()),
+            retired_reads: Mutex::new(Vec::new()),
             next_sweep: Mutex::new(Instant::now() + Duration::from_millis(50)),
             staging: AtomicBool::new(false),
             staged: Mutex::new(Vec::new()),
@@ -271,6 +280,7 @@ impl RxCore {
         sink: MemoryRegion,
         sink_to: u64,
         len: u32,
+        signaled: bool,
     ) -> PendingRead {
         PendingRead {
             wr_id,
@@ -279,7 +289,14 @@ impl RxCore {
             len,
             validity: ValidityMap::new(),
             first_seen: Instant::now(),
+            signaled,
         }
+    }
+
+    /// Drains the `wr_id`s of unsignaled reads that completed since the
+    /// last call, in completion order.
+    pub fn take_retired_reads(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.retired_reads.lock())
     }
 
     /// True when handling this untagged segment right now would drop it
@@ -723,18 +740,25 @@ impl RxCore {
             self.stats.rx_messages.fetch_add(1, Ordering::Relaxed);
             self.tel.rx_messages.inc();
             self.tel.msg_bytes.record(u64::from(done.len));
-            self.tel
-                .trace(EventKind::Cqe, u64::from(done.len), hdr.msg_id);
-            self.complete(Cqe {
-                wr_id: done.wr_id,
-                opcode: CqeOpcode::RdmaRead,
-                status: CqeStatus::Success,
-                byte_len: done.len,
-                src: None,
-                write_record: None,
-            imm: None,
-            solicited: false,
-            });
+            if done.signaled {
+                self.tel
+                    .trace(EventKind::Cqe, u64::from(done.len), hdr.msg_id);
+                self.complete(Cqe {
+                    wr_id: done.wr_id,
+                    opcode: CqeOpcode::RdmaRead,
+                    status: CqeStatus::Success,
+                    byte_len: done.len,
+                    src: None,
+                    write_record: None,
+                    imm: None,
+                    solicited: false,
+                });
+            } else {
+                // Selective signaling: success is reported through the
+                // drainable retired list, never the CQ.
+                self.retired_reads.lock().push(done.wr_id);
+                self.recv_cq.retire_unsignaled(1);
+            }
         }
     }
 

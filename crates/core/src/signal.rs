@@ -1,0 +1,148 @@
+//! CQ-occupancy-aware signal placement for selective signaling.
+//!
+//! With `sq_sig_all=0`-style selective signaling most WRs of a chain are
+//! unsignaled: they retire without a CQE and the application tracks
+//! progress through the few signaled ones. Two hazards come with that
+//! discipline (see *Efficient RDMA Communication Protocols*,
+//! arXiv:2212.09134, and the `sq_sig_all=0` pattern in
+//! `ZhuJiaqi9905/benchmark`):
+//!
+//! * an **all-unsignaled chain** produces no CQE at all, so a consumer
+//!   waiting on the CQ deadlocks;
+//! * conversely, a chain with **more signaled WRs than the CQ has free
+//!   slots** overflows the CQ, and overflowed CQEs are silently dropped
+//!   ([`crate::cq::Cq::push`]) — the completion the application waits on
+//!   may be the one that vanished.
+//!
+//! [`place_signals`] resolves both: given the application's requested
+//! flags, the CQ capacity and its current occupancy, it returns effective
+//! flags that (a) never *add* more signals than the CQ has free slots,
+//! (b) break long unsignaled runs so a prefix of the chain always
+//! surfaces a completion before the run could fill the send queue, and
+//! (c) keep an all-signaled chain untouched — the legacy default is
+//! bit-for-bit unchanged.
+//!
+//! Error and flush completions are exempt from all of this: the verbs
+//! layer surfaces them regardless of the `signaled` flag (an application
+//! must never lose an error).
+
+/// Longest run of consecutive unsignaled WRs the policy tolerates before
+/// forcing a signal, for a CQ of `capacity` entries.
+///
+/// Half the CQ depth: the forced signals of a maximal chain then occupy
+/// at most the CQ, and a consumer polling each signaled CQE frees slots
+/// twice as fast as the chain produces them.
+#[must_use]
+pub fn max_unsignaled_run(capacity: usize) -> usize {
+    (capacity / 2).max(1)
+}
+
+/// Computes effective signal flags for a WR chain posted against a CQ
+/// with `capacity` total entries of which `occupied` are currently
+/// queued.
+///
+/// Guarantees (property-tested in `tests/signal_props.rs`):
+///
+/// * `out.len() == app.len()`;
+/// * every application-requested signal is preserved (`app[i]` implies
+///   `out[i]` — the policy only ever *adds* signals);
+/// * the number of *added* signals is at most `capacity - occupied`
+///   (saturating): forced signals alone can never overflow the CQ, and
+///   when the CQ is already full none are added;
+/// * while budget remains, no run of consecutive unsignaled WRs exceeds
+///   [`max_unsignaled_run`], and the final WR of the chain is signaled —
+///   an unsignaled chain always surfaces a trailing completion;
+/// * an all-signaled chain (the [`crate::wr::SendWr::new`] default) is
+///   returned unchanged.
+#[must_use]
+pub fn place_signals(app: &[bool], capacity: usize, occupied: usize) -> Vec<bool> {
+    let mut out = app.to_vec();
+    let mut budget = capacity.saturating_sub(occupied);
+    if budget == 0 || out.is_empty() {
+        return out;
+    }
+    let bound = max_unsignaled_run(capacity);
+    let mut run = 0usize;
+    for flag in out.iter_mut() {
+        if *flag {
+            run = 0;
+            continue;
+        }
+        run += 1;
+        if run >= bound {
+            *flag = true;
+            budget -= 1;
+            run = 0;
+            if budget == 0 {
+                return out;
+            }
+        }
+    }
+    // Trailing completion: if the chain ends unsignaled and budget
+    // remains, signal the last WR so waiters always have something to
+    // poll for.
+    if let Some(last) = out.last_mut() {
+        if !*last {
+            *last = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_signaled_is_untouched() {
+        let app = vec![true; 8];
+        assert_eq!(place_signals(&app, 4, 0), app);
+    }
+
+    #[test]
+    fn full_cq_adds_nothing() {
+        let app = vec![false; 8];
+        assert_eq!(place_signals(&app, 4, 4), app);
+        assert_eq!(place_signals(&app, 4, 9), app);
+    }
+
+    #[test]
+    fn unsignaled_chain_gets_trailing_signal() {
+        let out = place_signals(&[false; 3], 64, 0);
+        assert!(out[2], "last WR forced signaled");
+        assert!(!out[0] && !out[1], "run shorter than bound untouched");
+    }
+
+    #[test]
+    fn long_runs_are_broken() {
+        let capacity = 8; // bound = 4
+        let out = place_signals(&[false; 16], capacity, 0);
+        let mut run = 0usize;
+        for &s in &out {
+            if s {
+                run = 0;
+            } else {
+                run += 1;
+                assert!(run < max_unsignaled_run(capacity));
+            }
+        }
+        assert!(*out.last().unwrap());
+    }
+
+    #[test]
+    fn forced_signals_respect_budget() {
+        // capacity 4, occupied 3 -> budget 1: only one signal may be added.
+        let out = place_signals(&[false; 40], 4, 3);
+        let added = out.iter().filter(|&&s| s).count();
+        assert_eq!(added, 1);
+    }
+
+    #[test]
+    fn app_signals_always_survive() {
+        let mut app = vec![false; 10];
+        app[3] = true;
+        app[7] = true;
+        let out = place_signals(&app, 2, 2); // zero budget
+        assert_eq!(out, app);
+    }
+}

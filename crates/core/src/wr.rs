@@ -62,17 +62,32 @@ pub struct SendWr {
     pub dest: UdDest,
     /// Request a solicited event at the target.
     pub solicited: bool,
+    /// Generate a success CQE when this WR completes (`sq_sig_all`-style
+    /// selective signaling: unsignaled WRs retire silently on success;
+    /// error and flush completions always surface a CQE). Defaults to
+    /// `true` — legacy behavior is bit-for-bit unchanged.
+    pub signaled: bool,
 }
 
 impl SendWr {
-    /// An unsolicited send WR.
+    /// An unsolicited, signaled send WR.
     pub fn new(wr_id: u64, payload: impl Into<SendPayload>, dest: UdDest) -> Self {
         Self {
             wr_id,
             payload: payload.into(),
             dest,
             solicited: false,
+            signaled: true,
         }
+    }
+
+    /// Marks this WR unsignaled: no CQE on success. The signal-placement
+    /// policy ([`crate::signal::place_signals`]) may still force a signal
+    /// to keep chains from deadlocking a full CQ.
+    #[must_use]
+    pub fn unsignaled(mut self) -> Self {
+        self.signaled = false;
+        self
     }
 }
 

@@ -51,6 +51,12 @@ echo "==> recovery smoke: NewReno vs fixed at 1% loss (>= 2x gate)"
 # Bernoulli loss. The committed BENCH_PR6.json is the full sweep.
 cargo run --release -p iwarp-bench --bin recovery -- --smoke --out target/recovery_smoke.json
 
+echo "==> bulkread smoke: selective signaling at 1 MiB (lastonly >= 1.3x every1)"
+# Bounded slice of the read-engine sweep on the 80 ms pipe; fails unless
+# last-only signaling beats per-batch signaling >= 1.3x goodput at 1 MiB
+# batches. The committed BENCH_PR8.json is the full sweep.
+cargo run --release -p iwarp-bench --bin bulkread -- --smoke --out target/bulkread_smoke.json
+
 echo "==> scale smoke: 256 SIP calls, 2 shards, event-driven completions"
 # Bounded concurrency-scaling run (legacy baseline + sharded/event mode);
 # fails if any call fails to establish. On hosts with host_cpus >= 2 it

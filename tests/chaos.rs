@@ -45,9 +45,24 @@ fn seeded_sweep_upholds_invariants() {
     // plans at least one fault should fire somewhere.
     let faults: usize = reports
         .iter()
-        .map(|r| r.fault_trace.len() + r.socket_fault_trace.len())
+        .map(|r| r.fault_trace.len() + r.socket_fault_trace.len() + r.read_fault_trace.len())
         .sum();
     assert!(faults > 0, "sweep injected no faults at all");
+    // And the bulk-read phase must have run a real transfer in every
+    // plan — a silently skipped phase would pass all its invariants.
+    for r in &reports {
+        assert!(
+            r.bulk.batches > 0,
+            "plan seed={:#018x} ran no bulk-read batches",
+            r.seed
+        );
+        assert_eq!(
+            r.bulk.solo_success + r.bulk.solo_expired,
+            4,
+            "plan seed={:#018x}: solo reads did not all reach a terminal state",
+            r.seed
+        );
+    }
 }
 
 /// Same seed → byte-identical fault traces and identical verdicts. This
@@ -64,6 +79,10 @@ fn same_seed_reproduces_fault_trace_and_verdict() {
         a.socket_fault_trace, b.socket_fault_trace,
         "socket fault traces diverged"
     );
+    assert_eq!(
+        a.read_fault_trace, b.read_fault_trace,
+        "bulk-read fault traces diverged"
+    );
     assert_eq!(a.ok(), b.ok(), "verdicts diverged");
     assert_eq!(
         a.violations.len(),
@@ -72,6 +91,14 @@ fn same_seed_reproduces_fault_trace_and_verdict() {
     );
     assert_eq!(a.verbs, b.verbs, "verbs summaries diverged");
     assert_eq!(a.socket, b.socket, "socket summaries diverged");
+    assert_eq!(
+        a.bulk.batches, b.bulk.batches,
+        "bulk-read batch counts diverged"
+    );
+    assert_eq!(
+        a.bulk.reposts, b.bulk.reposts,
+        "bulk-read repost schedules diverged"
+    );
 }
 
 /// A quiet plan (every stage off) must deliver everything and complete

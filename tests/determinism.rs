@@ -10,8 +10,10 @@ use std::time::{Duration, Instant};
 
 use datagram_iwarp::chaos::{run_plan, ChaosOpts};
 use datagram_iwarp::common::burstpath::BurstPath;
+use datagram_iwarp::common::ccalgo::CcAlgo;
 use datagram_iwarp::common::copypath::CopyPath;
 use datagram_iwarp::common::rng::derive_seed;
+use datagram_iwarp::verbs::read::{BulkRead, BulkReadConfig, RecoveryConfig, SignalInterval};
 use datagram_iwarp::net::{Addr, Fabric, FaultEvent, FaultPlan, LossModel, NodeId, WireConfig};
 use datagram_iwarp::telemetry::Snapshot;
 use datagram_iwarp::verbs::wr::{RecvWr, SendWr};
@@ -446,6 +448,133 @@ fn shard_count_and_pinning_do_not_change_bytes_or_faults() {
             base_trace, trace,
             "{shards}-shard pin={pin}: fault trace diverged from 1-shard unpinned"
         );
+    }
+}
+
+/// Runs a loss-free streaming bulk read under one (batching, shard count,
+/// congestion controller) combination and returns the delivered bytes
+/// plus the final telemetry snapshot. The responder is sharded (the read
+/// responses are generated on shard threads); the requester drives the
+/// engine from the test thread in poll mode. RTO timers are pinned far
+/// beyond the transfer time so a loss-free run must never repost — any
+/// wire-counter drift across combinations is a real protocol leak, not
+/// timer noise.
+fn run_bulk_read(burst: BurstPath, shards: usize, algo: CcAlgo) -> (Vec<u8>, Snapshot) {
+    const TOTAL: usize = 12 * 8 * 1024;
+    let fab = Fabric::new(WireConfig {
+        seed: SEED,
+        ..WireConfig::default()
+    });
+    let requester = Device::new(&fab, NodeId(0));
+    let responder = Device::with_config(
+        &fab,
+        NodeId(1),
+        DeviceConfig {
+            shard: ShardConfig::with_shards(shards),
+            ..DeviceConfig::default()
+        },
+    );
+    let recv_cq = Cq::new(8);
+    let qa = requester
+        .create_ud_qp(
+            None,
+            &Cq::new(64),
+            &recv_cq,
+            QpConfig {
+                poll_mode: true,
+                copy_path: CopyPath::Sg,
+                burst_path: burst,
+                read_ttl: Duration::from_secs(30),
+                ..QpConfig::default()
+            },
+        )
+        .unwrap();
+    let qb = responder
+        .create_ud_qp(
+            None,
+            &Cq::new(64),
+            &Cq::new(64),
+            QpConfig {
+                copy_path: CopyPath::Sg,
+                burst_path: burst,
+                ..QpConfig::default()
+            },
+        )
+        .unwrap();
+    assert!(qb.is_sharded());
+
+    let data: Vec<u8> = (0..TOTAL).map(|i| (i % 251) as u8).collect();
+    let src = responder.register_with(&data, Access::RemoteRead);
+    let sink = requester.register(TOTAL, Access::Local);
+    let mut xfer = BulkRead::new(
+        BulkReadConfig {
+            batch_bytes: 8 * 1024,
+            window: 4,
+            signal: SignalInterval::Every(2),
+            recovery: RecoveryConfig {
+                algo,
+                initial_rto: Duration::from_secs(5),
+                min_rto: Duration::from_secs(5),
+                max_rto: Duration::from_secs(10),
+                ..RecoveryConfig::default()
+            },
+            ..BulkReadConfig::default()
+        },
+        &sink,
+        0,
+        TOTAL as u64,
+        qb.dest(),
+        src.stag(),
+        0,
+    );
+    let start = Instant::now();
+    let mut finished = false;
+    while start.elapsed() < Duration::from_secs(10) {
+        qa.progress_burst(256, Duration::from_micros(100));
+        if xfer.step(&qa, start.elapsed()).expect("bulk read step") {
+            finished = true;
+            break;
+        }
+    }
+    assert!(finished, "loss-free bulk read did not finish");
+    let report = xfer.report();
+    assert!(!report.dead);
+    assert_eq!(report.reposts, 0, "loss-free transfer reposted");
+    assert_eq!(report.bytes, TOTAL as u64);
+    let got = sink.read_vec(0, TOTAL).unwrap();
+    assert_eq!(got, data, "bulk read delivered wrong bytes");
+    (got, fab.telemetry().snapshot())
+}
+
+/// The read engine's determinism contract: a loss-free bulk read delivers
+/// identical bytes and identical wire-level traffic across the batching
+/// knob, the responder shard count, and every congestion controller.
+/// Congestion control may change *when* batches are requested (window
+/// growth) but never *what* crosses the wire on a clean network.
+#[test]
+fn bulk_read_is_wire_identical_across_paths_shards_and_cc() {
+    let mut baseline: Option<(Vec<u8>, Snapshot)> = None;
+    for burst in [BurstPath::PerPacket, BurstPath::Burst] {
+        for shards in [1usize, 4] {
+            for algo in CcAlgo::ALL {
+                let (bytes, tel) = run_bulk_read(burst, shards, algo);
+                let Some((base_bytes, base_tel)) = &baseline else {
+                    baseline = Some((bytes, tel));
+                    continue;
+                };
+                assert_eq!(
+                    base_bytes, &bytes,
+                    "{burst:?}/{shards}-shard/{algo:?}: delivered bytes diverged"
+                );
+                for name in WIRE_COUNTERS {
+                    assert_eq!(
+                        base_tel.get(name),
+                        tel.get(name),
+                        "{burst:?}/{shards}-shard/{algo:?}: wire counter {name} diverged"
+                    );
+                }
+            }
+        }
     }
 }
 
