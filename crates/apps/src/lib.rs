@@ -10,8 +10,15 @@
 //!   generator measuring **request/response time** (Fig. 10) and
 //!   **server memory at N concurrent calls** (Fig. 11), with all socket,
 //!   connection and call state measured by the instrumented registry.
+//! * [`replog`] — a replicated-log state machine (PR 9): the leader
+//!   publishes fixed-size records to follower memory regions with
+//!   one-sided Write-Record (or two-sided send/recv as the baseline),
+//!   followers reconcile loss-induced holes via validity maps plus
+//!   one-sided bulk reads, and a lease-based election fails over —
+//!   all deterministic under a seeded fabric for the chaos oracle.
 
 #![warn(missing_docs)]
 
 pub mod media;
+pub mod replog;
 pub mod sip;

@@ -22,11 +22,17 @@
 //!   additionally runs the stream and rdgram transports (under the
 //!   configured congestion-control algorithm) through a CRC-safe subset
 //!   of the adversary and demands exact, in-order delivery.
+//! * [`replog`] runs the PR 9 replicated-log workload
+//!   (`iwarp_apps::replog`) under the same seeded adversaries and checks
+//!   agreement end to end: commit/apply consistency across replicas,
+//!   leader-lease exclusivity, proposal provenance and payload
+//!   integrity ([`run_replog_plan`] / [`run_replog_sweep`]).
 
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod invariants;
+pub mod replog;
 
 pub use harness::{
     run_plan, run_sweep, ChaosOpts, PlanReport, ReliableSummary, SocketSummary, VerbsSummary,
@@ -35,4 +41,7 @@ pub use harness::{
 pub use invariants::{
     check_conservation, check_cq_discipline, check_datagram_boundaries, check_recv_accounting,
     check_window_contents, check_write_record_cqes, Violation, WriteWindow,
+};
+pub use replog::{
+    check_replog, replog_cfg_for_seed, run_replog_plan, run_replog_sweep, ReplogOpts, ReplogReport,
 };

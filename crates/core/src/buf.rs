@@ -34,7 +34,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use iwarp_common::validity::{Interval, ValidityMap};
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::{IwarpError, IwarpResult};
 
@@ -70,6 +71,10 @@ struct MrInner {
     access: Access,
     storage: UnsafeCell<Box<[u8]>>,
     len: usize,
+    /// Opt-in placement tracking: `Some` aggregates every byte range the
+    /// engine (or the application) writes into a region-wide validity map,
+    /// so consumers can enumerate holes without probing per offset.
+    tracking: Mutex<Option<ValidityMap>>,
 }
 
 // SAFETY: all access to `storage` goes through the bounds-checked copying
@@ -104,6 +109,7 @@ impl MemoryRegion {
                 access,
                 storage: UnsafeCell::new(vec![0u8; len].into_boxed_slice()),
                 len,
+                tracking: Mutex::new(None),
             }),
         }
     }
@@ -161,6 +167,7 @@ impl MemoryRegion {
             let base = (*self.inner.storage.get()).as_mut_ptr();
             std::ptr::copy_nonoverlapping(data.as_ptr(), base.add(off), data.len());
         }
+        self.note_placed(offset, data.len());
         Ok(())
     }
 
@@ -198,6 +205,7 @@ impl MemoryRegion {
             let base = (*self.inner.storage.get()).as_mut_ptr().add(off);
             std::ptr::copy_nonoverlapping(data.as_ptr(), base, data.len());
         }
+        self.note_placed(offset, data.len());
         Ok(())
     }
 
@@ -229,6 +237,72 @@ impl MemoryRegion {
     pub fn fill(&self, byte: u8) {
         let v = vec![byte; self.inner.len];
         self.write(0, &v).expect("full-region write is in bounds");
+    }
+
+    fn note_placed(&self, offset: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let mut t = self.inner.tracking.lock();
+        if let Some(map) = t.as_mut() {
+            map.record(offset, len as u64);
+        }
+    }
+
+    /// Enables region-wide placement tracking, resetting any prior state:
+    /// from this call on, every successful [`Self::write`] /
+    /// [`Self::write_with_crc`] — including one-sided placement done by
+    /// the RX engine — is aggregated into a validity map that
+    /// [`Self::holes`] and [`Self::validity`] expose. Bytes written
+    /// *before* this call (initial zero fill, sentinel fills) do not
+    /// count as valid.
+    pub fn track_validity(&self) {
+        *self.inner.tracking.lock() = Some(ValidityMap::new());
+    }
+
+    /// True once [`Self::track_validity`] has been called.
+    #[must_use]
+    pub fn is_tracking_validity(&self) -> bool {
+        self.inner.tracking.lock().is_some()
+    }
+
+    /// Snapshot of the tracked validity map (`None` when tracking is off).
+    #[must_use]
+    pub fn validity(&self) -> Option<ValidityMap> {
+        self.inner.tracking.lock().clone()
+    }
+
+    /// Enumerates the invalid byte ranges (holes) in `[0, high_water)` —
+    /// the ranges a reconciliation pass must re-fetch. This is the
+    /// direct replacement for probing validity per offset: one call, one
+    /// lock round, sorted disjoint intervals out.
+    ///
+    /// With tracking disabled nothing is known to be valid, so the whole
+    /// of `[0, high_water)` is reported as one hole.
+    #[must_use]
+    pub fn holes(&self, high_water: u64) -> Vec<Interval> {
+        if high_water == 0 {
+            return Vec::new();
+        }
+        match self.inner.tracking.lock().as_ref() {
+            Some(map) => map.gaps(high_water),
+            None => vec![Interval::new(0, high_water)],
+        }
+    }
+
+    /// True when every byte of `[start, end)` has been placed since
+    /// tracking was enabled (false whenever tracking is off and the
+    /// range is non-empty).
+    #[must_use]
+    pub fn valid_range(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        self.inner
+            .tracking
+            .lock()
+            .as_ref()
+            .is_some_and(|m| m.contains_range(start, end))
     }
 }
 
@@ -500,6 +574,82 @@ mod tests {
             mr.write_with_crc(16 * 1024 - 8, &p, &pending).unwrap_err(),
             IwarpError::AccessViolation { .. }
         ));
+    }
+
+    #[test]
+    fn holes_untracked_and_empty_map() {
+        let t = MrTable::new();
+        let mr = t.register(256, Access::RemoteWrite);
+        // Tracking off: everything below high water is one hole.
+        assert!(!mr.is_tracking_validity());
+        assert_eq!(mr.holes(100), vec![Interval::new(0, 100)]);
+        assert!(!mr.valid_range(0, 1));
+        assert!(mr.validity().is_none());
+        // Tracking on, nothing placed yet: same single hole, empty map.
+        mr.track_validity();
+        assert!(mr.is_tracking_validity());
+        assert_eq!(mr.holes(100), vec![Interval::new(0, 100)]);
+        assert!(mr.validity().unwrap().is_empty());
+        assert_eq!(mr.holes(0), Vec::new());
+        assert!(mr.valid_range(5, 5), "empty range is trivially valid");
+    }
+
+    #[test]
+    fn holes_full_map() {
+        let t = MrTable::new();
+        let mr = t.register(256, Access::RemoteWrite);
+        // Pre-tracking fills must not count as valid.
+        mr.fill(0xA5);
+        mr.track_validity();
+        assert_eq!(mr.holes(256), vec![Interval::new(0, 256)]);
+        mr.write(0, &[1u8; 256]).unwrap();
+        assert_eq!(mr.holes(256), Vec::new());
+        assert!(mr.valid_range(0, 256));
+        assert!(mr.validity().unwrap().covers(256));
+        // High water below the valid run still reports no holes.
+        assert_eq!(mr.holes(100), Vec::new());
+    }
+
+    #[test]
+    fn holes_fragmented_map() {
+        let t = MrTable::new();
+        let mr = t.register(1024, Access::RemoteWrite);
+        mr.track_validity();
+        // Out-of-order, overlapping, and duplicate placements — the
+        // union is what matters.
+        mr.write(512, &[2u8; 128]).unwrap();
+        mr.write(0, &[1u8; 100]).unwrap();
+        mr.write(50, &[3u8; 50]).unwrap(); // duplicate tail of run 1
+        mr.write(512, &[2u8; 128]).unwrap(); // exact duplicate
+        assert_eq!(
+            mr.holes(1024),
+            vec![Interval::new(100, 512), Interval::new(640, 1024)]
+        );
+        // High water inside a hole truncates it ...
+        assert_eq!(mr.holes(200), vec![Interval::new(100, 200)]);
+        // ... and inside a valid run hides everything past it.
+        assert_eq!(mr.holes(60), Vec::new());
+        assert!(mr.valid_range(0, 100));
+        assert!(!mr.valid_range(0, 101));
+        assert!(mr.valid_range(512, 640));
+        // Bridge the first gap; holes coalesce away.
+        mr.write(100, &[4u8; 412]).unwrap();
+        assert_eq!(mr.holes(640), Vec::new());
+        assert_eq!(mr.holes(1024), vec![Interval::new(640, 1024)]);
+    }
+
+    #[test]
+    fn tracking_ignores_failed_writes() {
+        let t = MrTable::new();
+        let mr = t.register(64, Access::RemoteWrite);
+        mr.track_validity();
+        assert!(mr.write(60, &[0u8; 8]).is_err());
+        assert_eq!(mr.holes(64), vec![Interval::new(0, 64)]);
+        // track_validity() again resets the map.
+        mr.write(0, &[1u8; 64]).unwrap();
+        assert!(mr.valid_range(0, 64));
+        mr.track_validity();
+        assert_eq!(mr.holes(64), vec![Interval::new(0, 64)]);
     }
 
     #[test]

@@ -79,6 +79,14 @@ impl DgLlp {
         }
     }
 
+    /// Wire packets waiting in the delivery ring, before reassembly.
+    fn rx_backlog(&self) -> usize {
+        match self {
+            DgLlp::Ud(c) => c.rx_backlog(),
+            DgLlp::Rd(c) => c.rx_backlog(),
+        }
+    }
+
     /// Receives the next complete datagram as a scatter-gather list (an
     /// unfragmented UD datagram arrives as the sender's original slices;
     /// RD always delivers contiguous messages).
@@ -332,6 +340,16 @@ impl DatagramQp {
             }
         }
         rx_step(inner, max_wait);
+    }
+
+    /// Wire packets already delivered to this QP but not yet ingested.
+    /// A [`Self::progress`] call consumes at least one whenever this is
+    /// non-zero, so poll-mode drivers can loop `progress_burst` until
+    /// the backlog reads zero to drain a tick to quiescence — the same
+    /// end state whichever [`QpConfig::burst_path`] is in force.
+    #[must_use]
+    pub fn rx_backlog(&self) -> usize {
+        self.inner.llp.rx_backlog()
     }
 
     /// This QP's number (advertise it to peers along with

@@ -1,0 +1,103 @@
+//! Property test (PR 9): region validity tracking equals the set-union
+//! model under arbitrary Write-Record fragment fates.
+//!
+//! Messages are fragmented per-MTU like the tagged datapath; every
+//! fragment is independently **dropped**, **placed**, or **duplicated**,
+//! and the surviving placements land in an arbitrary interleaved order —
+//! exactly what a lossy, reordering, duplicating wire does to concurrent
+//! Write-Records. The tracked [`MemoryRegion`] validity map must then be
+//! *exactly* the union of the placed fragments: no phantom-valid bytes
+//! (a byte marked valid that no fragment covered) and no lost-valid
+//! bytes (a placed byte reported as a hole).
+//!
+//! [`MemoryRegion`]: iwarp::MemoryRegion
+
+use iwarp::{Access, MrTable};
+use proptest::prelude::*;
+
+const REGION: usize = 16 * 1024;
+/// Tagged-segment payload capacity on the default 1500-byte wire, near
+/// enough: what one fragment of a Write-Record covers.
+const FRAG: usize = 1460;
+
+prop_compose! {
+    fn arb_msg()(off in 0usize..REGION - 1, len in 1usize..5000) -> (usize, usize) {
+        (off, len.min(REGION - off))
+    }
+}
+
+proptest! {
+    #[test]
+    fn validity_map_equals_fragment_union(
+        msgs in proptest::collection::vec(arb_msg(), 1..8),
+        fates in proptest::collection::vec(0u8..3u8, 64),
+        order in proptest::collection::vec(any::<u64>(), 64),
+    ) {
+        // Fragment each message per-MTU and assign each fragment a fate:
+        // 0 = dropped, 1 = placed once, 2 = placed twice (duplicate).
+        let mut placements: Vec<(usize, usize)> = Vec::new();
+        let mut k = 0usize;
+        for &(off, len) in &msgs {
+            let mut o = off;
+            let end = off + len;
+            while o < end {
+                let l = FRAG.min(end - o);
+                match fates[k % fates.len()] {
+                    0 => {}
+                    1 => placements.push((o, l)),
+                    _ => {
+                        placements.push((o, l));
+                        placements.push((o, l));
+                    }
+                }
+                k += 1;
+                o += l;
+            }
+        }
+        // Arbitrary interleaving: order the placements by seeded keys.
+        let mut keyed: Vec<(u64, (usize, usize))> = placements
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (order[i % order.len()].wrapping_add(i as u64), *f))
+            .collect();
+        keyed.sort_by_key(|&(key, _)| key);
+
+        let table = MrTable::new();
+        let mr = table.register(REGION, Access::RemoteWrite);
+        mr.track_validity();
+        let mut model = vec![false; REGION];
+        for &(_, (o, l)) in &keyed {
+            let data: Vec<u8> = (0..l).map(|i| (o + i) as u8).collect();
+            mr.write(o as u64, &data).unwrap();
+            for b in &mut model[o..o + l] {
+                *b = true;
+            }
+        }
+
+        // The reported holes must be exactly the maximal invalid runs of
+        // the union model (no phantom-valid, no lost-valid bytes).
+        let mut model_holes: Vec<(u64, u64)> = Vec::new();
+        let mut i = 0;
+        while i < REGION {
+            if model[i] {
+                i += 1;
+                continue;
+            }
+            let s = i;
+            while i < REGION && !model[i] {
+                i += 1;
+            }
+            model_holes.push((s as u64, i as u64));
+        }
+        let got: Vec<(u64, u64)> =
+            mr.holes(REGION as u64).iter().map(|iv| (iv.start, iv.end)).collect();
+        prop_assert_eq!(got, model_holes);
+
+        // The contiguous-range query must agree with the model over every
+        // original message extent.
+        for &(off, len) in &msgs {
+            let all = model[off..off + len].iter().all(|&b| b);
+            prop_assert_eq!(mr.valid_range(off as u64, (off + len) as u64), all);
+        }
+    }
+}

@@ -579,6 +579,16 @@ impl DgramConduit {
         None
     }
 
+    /// Wire packets waiting in the delivery ring — fragments count
+    /// individually, so this is an upper bound on the datagrams a drain
+    /// can complete right now. Poll-mode drivers use it to loop a drain
+    /// to quiescence regardless of how many packets one receive call
+    /// consumes.
+    #[must_use]
+    pub fn rx_backlog(&self) -> usize {
+        self.ep.pending()
+    }
+
     /// Number of incomplete datagrams currently awaiting fragments.
     #[must_use]
     pub fn pending_partials(&self) -> usize {

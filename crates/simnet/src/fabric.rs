@@ -91,12 +91,6 @@ struct FabricTel {
     ring_full_retries: Counter,
     /// Ring + spill occupancy observed at each enqueue.
     ring_occupancy: Histogram,
-    /// DEPRECATED (PR 7): the per-link ring fabric takes no shared TX
-    /// locks, so this counter is kept registered — always 0 — for one
-    /// release and then removed. Read `ring_enqueues`/`ring_full_retries`
-    /// instead.
-    #[allow(dead_code)]
-    lock_acquisitions: Counter,
 }
 
 impl FabricTel {
@@ -113,7 +107,6 @@ impl FabricTel {
             ring_enqueues: tel.counter("simnet.fabric.ring_enqueues"),
             ring_full_retries: tel.counter("simnet.fabric.ring_full_retries"),
             ring_occupancy: tel.histogram("simnet.fabric.ring_occupancy"),
-            lock_acquisitions: tel.counter("simnet.fabric.lock_acquisitions"),
             tel,
         }
     }
@@ -1557,8 +1550,8 @@ mod tests {
 
     #[test]
     fn hot_path_takes_no_shared_lock_round() {
-        // The deprecated shared-lock counter must stay 0 while the ring
-        // counters account every delivery.
+        // The retired shared-lock counter must be gone from the snapshot
+        // entirely while the ring counters account every delivery.
         let fab = Fabric::loopback();
         let a = fab.bind(Addr::new(0, 1)).unwrap();
         let b = fab.bind(Addr::new(1, 1)).unwrap();
@@ -1566,7 +1559,7 @@ mod tests {
             a.send_to(b.local_addr(), pkt_bytes(32)).unwrap();
         }
         let tel = fab.telemetry();
-        assert_eq!(tel.counter("simnet.fabric.lock_acquisitions").get(), 0);
+        assert_eq!(tel.snapshot().get("simnet.fabric.lock_acquisitions"), None);
         assert_eq!(tel.counter("simnet.fabric.ring_enqueues").get(), 100);
     }
 

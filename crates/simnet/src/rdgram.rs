@@ -460,6 +460,13 @@ impl RdConduit {
         self.inner.dg.fabric()
     }
 
+    /// Wire packets waiting in the underlying delivery ring; see
+    /// [`DgramConduit::rx_backlog`].
+    #[must_use]
+    pub fn rx_backlog(&self) -> usize {
+        self.inner.dg.rx_backlog()
+    }
+
     /// Largest message this conduit accepts (one datagram's worth).
     #[must_use]
     pub fn max_datagram(&self) -> usize {

@@ -51,6 +51,15 @@ echo "==> recovery smoke: NewReno vs fixed at 1% loss (>= 2x gate)"
 # Bernoulli loss. The committed BENCH_PR6.json is the full sweep.
 cargo run --release -p iwarp-bench --bin recovery -- --smoke --out target/recovery_smoke.json
 
+echo "==> replog smoke: 25 seeded agreement plans + one-sided throughput gate"
+# The replicated-log oracle: every agreement invariant (total order, no
+# lost acks, no divergence, lease exclusivity) under seeded chaos plans
+# across both publish paths, then the one-sided >= two-sided
+# commit-throughput sanity gate. A failure prints the plan seed;
+# reproduce it with
+#   cargo run --release -p iwarp-bench --bin replog -- --replay <seed>
+cargo run --release -p iwarp-bench --bin replog -- --smoke --plans 25
+
 echo "==> bulkread smoke: selective signaling at 1 MiB (lastonly >= 1.3x every1)"
 # Bounded slice of the read-engine sweep on the 80 ms pipe; fails unless
 # last-only signaling beats per-batch signaling >= 1.3x goodput at 1 MiB

@@ -224,8 +224,8 @@ fn sharded_rx_is_replay_stable() {
 /// Wire-level counters that must be identical across the batching knob:
 /// the burst path may only amortize *how* packets move (lock rounds,
 /// notifies, CQ pushes), never *what* moves or what the loss RNG sees.
-/// `simnet.fabric.lock_acquisitions` and `core.qp.tx_bursts` are the
-/// intentionally-different amortization counters and are excluded.
+/// `core.qp.tx_bursts` is the intentionally-different amortization
+/// counter and is excluded.
 const WIRE_COUNTERS: &[&str] = &[
     "simnet.fabric.tx_packets",
     "simnet.fabric.tx_bytes",
@@ -270,10 +270,9 @@ fn burst_path_is_wire_identical_to_per_packet() {
     }
 
     // Prove the knob actually engaged: the burst run flushed doorbells,
-    // the per-packet run never did. (Total `lock_acquisitions` is *not*
-    // comparable here — the quiet-drain spin takes a run-dependent number
-    // of empty lock rounds; the lock-amortization claim lives in the
-    // `burst` bench, which counts locks per delivered message.)
+    // the per-packet run never did. (The lock-amortization claim lives
+    // in the `burst` bench, which gates on the ring counters and on the
+    // retired shared-lock counter staying absent.)
     assert_eq!(pp_tel.get("core.qp.tx_bursts"), Some(0));
     assert!(b_tel.get("core.qp.tx_bursts").unwrap_or(0) > 0);
 }
@@ -613,4 +612,65 @@ fn link_a_draws_unchanged_by_link_b_traffic() {
         alone, shared,
         "link B's traffic perturbed link A's loss draw sequence"
     );
+}
+
+/// The replicated-log workload's determinism contract (PR 9): one seeded
+/// lossy run — drops, duplicates, reorders, a mid-run leader freeze with
+/// fail-over, hole refetches over `BulkRead` — must produce an identical
+/// event/lease history and an identical fault trace across the doorbell
+/// path, the device shard count, and every refetch congestion
+/// controller. Shards are inert for poll-mode QPs, the refetch window
+/// fits inside every algo's initial cwnd, and bursting only groups
+/// doorbells; none of the three may leak into protocol behaviour, or
+/// `replog --replay <seed>` stops reproducing failures byte-for-byte.
+#[test]
+fn replog_history_is_identical_across_burst_shards_and_cc() {
+    use datagram_iwarp::apps::replog::{Cluster, History, ReplogConfig};
+
+    let run = |burst: BurstPath, shards: usize, algo: CcAlgo| -> (History, Vec<FaultEvent>) {
+        let fab = Fabric::new(WireConfig::default());
+        fab.install_fault_plan(FaultPlan::from_seed(derive_seed(SEED, 0x9E09)));
+        let cfg = ReplogConfig {
+            entries: 10,
+            freeze: Some((300, 500)),
+            shards,
+            burst,
+            cc: algo,
+            ..ReplogConfig::default()
+        };
+        let mut cluster = Cluster::new(&fab, cfg);
+        let out = cluster.run();
+        assert!(
+            out.converged,
+            "{burst:?}/{shards}-shard/{algo:?}: replog run failed to converge"
+        );
+        fab.chaos_flush();
+        (out.history, fab.fault_trace())
+    };
+
+    let mut baseline: Option<(History, Vec<FaultEvent>)> = None;
+    for burst in [BurstPath::PerPacket, BurstPath::Burst] {
+        for shards in [1usize, 4] {
+            for algo in CcAlgo::ALL {
+                let (history, trace) = run(burst, shards, algo);
+                let Some((base_hist, base_trace)) = &baseline else {
+                    baseline = Some((history, trace));
+                    continue;
+                };
+                assert_eq!(
+                    base_hist.digest(),
+                    history.digest(),
+                    "{burst:?}/{shards}-shard/{algo:?}: history digest diverged"
+                );
+                assert_eq!(
+                    base_hist, &history,
+                    "{burst:?}/{shards}-shard/{algo:?}: event/lease history diverged"
+                );
+                assert_eq!(
+                    base_trace, &trace,
+                    "{burst:?}/{shards}-shard/{algo:?}: fault trace diverged"
+                );
+            }
+        }
+    }
 }
