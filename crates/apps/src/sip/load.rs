@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use iwarp::{IwarpError, IwarpResult};
 use iwarp_common::stats::Summary;
-use iwarp_socket::{DgramSocket, SocketStack, StreamSocket};
+use iwarp_socket::{DgramProfile, DgramSocket, SocketStack, StreamSocket};
 use simnet::Addr;
 
 use super::codec::{make_ack, make_bye, make_invite, SipMessage};
@@ -82,7 +82,8 @@ impl CallLeg {
         let deadline = Instant::now() + timeout;
         match self {
             CallLeg::Ud { sock, dialog_peer } => {
-                let mut buf = vec![0u8; 8 * 1024];
+                // Stack buffer: compact client legs cap datagrams at 1 KiB.
+                let mut buf = [0u8; 2048];
                 let (n, src) = sock.recv_from(&mut buf, timeout)?;
                 // In-dialog responses may come from the server's per-call
                 // socket; adopt it as the dialog peer.
@@ -146,8 +147,12 @@ where
         let invite = make_invite(&call_id, &from, to, 1);
 
         let mut leg = match cfg.transport {
+            // Client legs only ever receive body-less responses (≤ ~400 B),
+            // so they take the compact receive profile like the server's
+            // per-call sockets — per-call bytes on *both* ends are what the
+            // Fig. 11 whole-application comparison counts.
             SipTransport::Ud => CallLeg::Ud {
-                sock: client_stack.dgram()?,
+                sock: client_stack.dgram_with(DgramProfile::compact())?,
                 dialog_peer: cfg.server_addr,
             },
             SipTransport::Rc => CallLeg::Rc {

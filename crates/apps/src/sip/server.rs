@@ -35,10 +35,11 @@ use std::time::Duration;
 
 use iwarp::IwarpResult;
 use iwarp_common::memacct::MemScope;
-use iwarp_socket::{DgramSocket, SocketStack, StreamSocket};
+use iwarp_common::slab::{Handle, Slab, SlabStats};
+use iwarp_socket::{DgramProfile, DgramSocket, SocketStack, StreamSocket};
 use simnet::Addr;
 
-use super::codec::{SipMessage, SipMethod};
+use super::codec::{SipMessage, SipMethod, SipScratch, SipView};
 
 /// Which transport the server speaks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -165,10 +166,51 @@ impl Drop for SipServer {
 /// Main-socket drain batch for the evented loop (`recv_many` vector size).
 const MAIN_BATCH: usize = 32;
 
-/// One UD call: its dedicated socket plus tracked application state.
+/// One UD call record — a compact slab entry: its dedicated socket, the
+/// dialog's Call-ID (owned once at INVITE time, never re-cloned on the
+/// in-dialog path), and tracked application state.
 struct UdCall {
+    call_id: String,
     sock: DgramSocket,
     _state: Option<MemScope>,
+}
+
+/// The server's call table: slab-backed records (backing bytes reported
+/// under `sip_call_table`, activity under `mem.slab.*`) plus a
+/// Call-ID → handle index used only on the main-socket path (INVITE
+/// dedup). In-dialog traffic routes by fd → handle and never touches the
+/// string index.
+struct UdCalls {
+    slab: Slab<UdCall>,
+    index: HashMap<String, Handle>,
+}
+
+impl UdCalls {
+    fn new(stack: &SocketStack) -> Self {
+        let mut slab = Slab::new();
+        if let Some(reg) = stack.device().mem() {
+            slab = slab.with_mem(reg.track("sip_call_table", 0));
+        }
+        let stats = SlabStats::new();
+        stack.device().telemetry().attach_slab(stats.clone());
+        Self {
+            slab: slab.with_stats(stats),
+            index: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, call: UdCall) -> Handle {
+        let id = call.call_id.clone();
+        let h = self.slab.insert(call);
+        self.index.insert(id, h);
+        h
+    }
+
+    fn remove(&mut self, h: Handle) {
+        if let Some(call) = self.slab.remove(h) {
+            self.index.remove(&call.call_id);
+        }
+    }
 }
 
 fn ud_event_loop(
@@ -177,16 +219,18 @@ fn ud_event_loop(
     cfg: &SipServerConfig,
     shared: &Shared,
 ) -> IwarpResult<()> {
-    let mut calls: HashMap<String, UdCall> = HashMap::new();
+    let mut calls = UdCalls::new(stack);
+    let mut scratch = new_scratch(stack);
     let mut buf = vec![0u8; 8 * 1024];
+    let mut finished: Vec<Handle> = Vec::new();
     let mut passes_since_scan = 0u32;
     while !shared.shutdown.load(Ordering::Relaxed) {
         // New transactions arrive on the main socket.
         let mut main_idle = false;
         match main.recv_from(&mut buf, Duration::from_millis(1)) {
             Ok((n, src)) => {
-                if let Ok(msg) = SipMessage::parse(&buf[..n]) {
-                    handle_ud_message(stack, cfg, shared, &mut calls, &main, &msg, src)?;
+                if let Ok(msg) = SipView::parse(&buf[..n]) {
+                    handle_ud_message(stack, cfg, shared, &mut calls, &main, &msg, src, &mut scratch)?;
                 } else {
                     shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
                 }
@@ -204,14 +248,14 @@ fn ud_event_loop(
             continue;
         }
         passes_since_scan = 0;
-        let mut finished = Vec::new();
-        for (call_id, call) in &mut calls {
-            if drain_call_socket(call, shared, &mut buf)? {
-                finished.push(call_id.clone());
+        finished.clear();
+        for (h, call) in calls.slab.iter_mut() {
+            if drain_call_socket(call, shared, &mut scratch)? {
+                finished.push(h);
             }
         }
-        for call_id in finished {
-            calls.remove(&call_id);
+        for h in finished.drain(..) {
+            calls.remove(h);
             shared.stats.active_calls.fetch_sub(1, Ordering::Relaxed);
         }
     }
@@ -229,10 +273,10 @@ fn ud_event_loop_evented(
     cfg: &SipServerConfig,
     shared: &Shared,
 ) -> IwarpResult<()> {
-    let mut calls: HashMap<String, UdCall> = HashMap::new();
-    let mut fd_to_call: HashMap<u32, String> = HashMap::new();
+    let mut calls = UdCalls::new(stack);
+    let mut fd_to_call: HashMap<u32, Handle> = HashMap::new();
     let main_fd = main.fd();
-    let mut buf = vec![0u8; 8 * 1024];
+    let mut scratch = new_scratch(stack);
     let mut batch = Vec::with_capacity(MAIN_BATCH);
     while !shared.shutdown.load(Ordering::Relaxed) {
         // Bounded wait so shutdown is noticed even on a dead-quiet fabric.
@@ -249,21 +293,27 @@ fn ud_event_loop_evented(
                         Err(e) => return Err(e),
                     }
                     for (data, src) in &batch {
-                        if let Ok(msg) = SipMessage::parse(data) {
-                            if let Some((call_id, call_fd)) = handle_ud_message(
+                        if let Ok(msg) = SipView::parse(data) {
+                            if let Some((h, call_fd)) = handle_ud_message(
                                 stack, cfg, shared, &mut calls, main, &msg, *src,
+                                &mut scratch,
                             )? {
-                                fd_to_call.insert(call_fd, call_id);
+                                fd_to_call.insert(call_fd, h);
                             }
                         } else {
                             shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
-            } else if let Some(call_id) = fd_to_call.get(&fd).cloned() {
-                let call = calls.get_mut(&call_id).expect("fd map in sync");
-                if drain_call_socket(call, shared, &mut buf)? {
-                    calls.remove(&call_id);
+            } else if let Some(&h) = fd_to_call.get(&fd) {
+                // Generation-checked lookup: a stale fd token that raced
+                // a teardown (and possibly an fd reuse) simply misses.
+                let Some(call) = calls.slab.get_mut(h) else {
+                    fd_to_call.remove(&fd);
+                    continue;
+                };
+                if drain_call_socket(call, shared, &mut scratch)? {
+                    calls.remove(h);
                     fd_to_call.remove(&fd);
                     shared.stats.active_calls.fetch_sub(1, Ordering::Relaxed);
                 }
@@ -274,16 +324,30 @@ fn ud_event_loop_evented(
     Ok(())
 }
 
+/// A response scratch whose retained capacity is memacct-visible when the
+/// stack's device carries a registry.
+fn new_scratch(stack: &SocketStack) -> SipScratch {
+    stack
+        .device()
+        .mem()
+        .map_or_else(SipScratch::new, SipScratch::with_mem)
+}
+
 /// Serves everything pending on one call socket. Returns `true` when the
 /// dialog ended (BYE answered) and the call should be dropped.
+///
+/// This is the steady-state hot path: zero-copy receive ([`Bytes`] out of
+/// the socket's ready queue), borrowed parse ([`SipView`]), response
+/// encoded into the warm scratch — no per-message heap traffic in the
+/// SIP layer.
 fn drain_call_socket(
     call: &mut UdCall,
     shared: &Shared,
-    buf: &mut [u8],
+    scratch: &mut SipScratch,
 ) -> IwarpResult<bool> {
     let mut done = false;
-    while let Some((n, src)) = call.sock.try_recv_from(buf)? {
-        let Ok(msg) = SipMessage::parse(&buf[..n]) else {
+    while let Some((src, data)) = call.sock.try_recv_bytes()? {
+        let Ok(msg) = SipView::parse(&data) else {
             shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
             continue;
         };
@@ -292,8 +356,8 @@ fn drain_call_socket(
                 shared.stats.acks.fetch_add(1, Ordering::Relaxed);
             }
             Some(SipMethod::Bye) => {
-                let ok = SipMessage::response_to(&msg, 200, "OK");
-                call.sock.send_to(&ok.encode(), src)?;
+                let wire = scratch.response_to(&msg, 200, "OK", &[]);
+                call.sock.send_to(wire, src)?;
                 shared.stats.byes.fetch_add(1, Ordering::Relaxed);
                 done = true;
             }
@@ -303,53 +367,55 @@ fn drain_call_socket(
     Ok(done)
 }
 
-/// Handles one message on the main socket. Returns the `(call_id, fd)` of
+/// Handles one message on the main socket. Returns the `(handle, fd)` of
 /// a newly established call so the evented loop can index it.
+#[allow(clippy::too_many_arguments)]
 fn handle_ud_message(
     stack: &SocketStack,
     cfg: &SipServerConfig,
     shared: &Shared,
-    calls: &mut HashMap<String, UdCall>,
+    calls: &mut UdCalls,
     main: &DgramSocket,
-    msg: &SipMessage,
+    msg: &SipView<'_>,
     src: Addr,
-) -> IwarpResult<Option<(String, u32)>> {
+    scratch: &mut SipScratch,
+) -> IwarpResult<Option<(Handle, u32)>> {
     match msg.method() {
         Some(SipMethod::Invite) => {
             let Some(call_id) = msg.call_id() else {
                 shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
                 return Ok(None);
             };
-            if calls.contains_key(call_id) {
+            if calls.index.contains_key(call_id) {
                 return Ok(None); // retransmitted INVITE; 200 OK was sent
             }
             // Paper setup: one server socket per client/call. The 200 OK
             // is sent *from* the call socket so in-dialog requests land
             // there. (In Event mode the new socket subscribes itself to
-            // the stack channel at open.)
-            let call_sock = stack.dgram()?;
+            // the stack channel at open.) Per-call sockets only ever see
+            // small in-dialog requests, so they take the compact receive
+            // profile — the dominant term of Fig. 11's per-call bytes.
+            let call_sock = stack.dgram_with(DgramProfile::compact())?;
             let fd = call_sock.fd();
-            let ok = SipMessage::response_to(msg, 200, "OK")
-                .with_header("Contact", &format!("<sip:{}>", call_sock.local_addr()));
-            call_sock.send_to(&ok.encode(), src)?;
+            let contact = format!("<sip:{}>", call_sock.local_addr());
+            let wire = scratch.response_to(msg, 200, "OK", &[("Contact", &contact)]);
+            call_sock.send_to(wire, src)?;
             let state = stack
                 .device()
                 .mem()
                 .map(|r| r.track("sip_call", cfg.call_state_bytes));
-            calls.insert(
-                call_id.to_owned(),
-                UdCall {
-                    sock: call_sock,
-                    _state: state,
-                },
-            );
+            let h = calls.insert(UdCall {
+                call_id: call_id.to_owned(),
+                sock: call_sock,
+                _state: state,
+            });
             shared.stats.invites.fetch_add(1, Ordering::Relaxed);
             shared.stats.active_calls.fetch_add(1, Ordering::Relaxed);
-            return Ok(Some((call_id.to_owned(), fd)));
+            return Ok(Some((h, fd)));
         }
         Some(SipMethod::Options) => {
-            let ok = SipMessage::response_to(msg, 200, "OK");
-            main.send_to(&ok.encode(), src)?;
+            let wire = scratch.response_to(msg, 200, "OK", &[]);
+            main.send_to(wire, src)?;
         }
         _ => {}
     }
@@ -372,6 +438,7 @@ fn rc_event_loop(
     shared: &Shared,
 ) -> IwarpResult<()> {
     let mut calls: Vec<RcCall> = Vec::new();
+    let mut scratch = new_scratch(stack);
     let mut buf = vec![0u8; 8 * 1024];
     while !shared.shutdown.load(Ordering::Relaxed) {
         // Accept new connections (short timeout keeps the loop live).
@@ -403,28 +470,29 @@ fn rc_event_loop(
                     }
                 }
             }
-            // Frame and handle complete messages.
+            // Frame and handle complete messages — borrowed parse over
+            // the reassembly buffer, responses out of the warm scratch.
             loop {
-                match SipMessage::parse_prefix(&call.rxbuf) {
+                let used = match SipView::parse_prefix(&call.rxbuf) {
                     Ok((msg, used)) => {
-                        call.rxbuf.drain(..used);
                         match msg.method() {
                             Some(SipMethod::Invite) => {
-                                let ok = SipMessage::response_to(&msg, 200, "OK");
-                                let _ = call.sock.send(&ok.encode());
+                                let wire = scratch.response_to(&msg, 200, "OK", &[]);
+                                let _ = call.sock.send(wire);
                                 shared.stats.invites.fetch_add(1, Ordering::Relaxed);
                             }
                             Some(SipMethod::Ack) => {
                                 shared.stats.acks.fetch_add(1, Ordering::Relaxed);
                             }
                             Some(SipMethod::Bye) => {
-                                let ok = SipMessage::response_to(&msg, 200, "OK");
-                                let _ = call.sock.send(&ok.encode());
+                                let wire = scratch.response_to(&msg, 200, "OK", &[]);
+                                let _ = call.sock.send(wire);
                                 shared.stats.byes.fetch_add(1, Ordering::Relaxed);
                                 call.done = true;
                             }
                             _ => {}
                         }
+                        used
                     }
                     Err(e) if SipMessage::is_incomplete(&e) => break,
                     Err(_) => {
@@ -432,7 +500,8 @@ fn rc_event_loop(
                         call.rxbuf.clear();
                         break;
                     }
-                }
+                };
+                call.rxbuf.drain(..used);
             }
         }
         let before = calls.len();

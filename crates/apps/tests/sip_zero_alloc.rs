@@ -1,0 +1,75 @@
+//! Proof of the codec's zero-alloc claim: a counting global allocator
+//! wraps the system allocator, and the steady-state SIP transaction
+//! (borrowed parse → response into a warm scratch) is asserted to perform
+//! exactly zero heap allocations per message. Lives in its own test
+//! binary because a `#[global_allocator]` is process-wide; the counter is
+//! thread-local so the libtest harness threads can't pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use iwarp_apps::sip::codec::{make_bye, make_invite, SipScratch, SipView};
+
+thread_local! {
+    static TL_ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // try_with: allocations during TLS teardown must not panic inside
+    // the allocator; missing those is fine — the test thread is live.
+    let _ = TL_ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn this_thread_allocs() -> u64 {
+    TL_ALLOC_CALLS.with(Cell::get)
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_parse_and_respond_allocates_nothing() {
+    // Wire bytes for the two steady-state request shapes the server sees
+    // on the in-dialog path.
+    let bye = make_bye("call-0@zero", "alice@a", "uas@b", 2).encode();
+    let invite = make_invite("call-0@zero", "alice@a", "uas@b", 1).encode();
+
+    let mut scratch = SipScratch::new();
+    // Warm the scratch with the largest response it will produce.
+    {
+        let req = SipView::parse(&invite).unwrap();
+        let _ = scratch.response_to(&req, 200, "OK", &[("Contact", "<sip:server>")]);
+    }
+
+    let before = this_thread_allocs();
+    for _ in 0..1000 {
+        let req = SipView::parse(&bye).unwrap();
+        assert_eq!(req.cseq().map(|(n, _)| n), Some(2));
+        let wire = scratch.response_to(&req, 200, "OK", &[]);
+        assert!(wire.starts_with(b"SIP/2.0 200 OK\r\n"));
+    }
+    let after = this_thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state SIP transaction touched the heap"
+    );
+}

@@ -18,6 +18,10 @@
 //!   harness and application measurements.
 //! * [`pool`] — a sharded buffer pool for the zero-copy datapath (header
 //!   buffers, reassembly buffers, rx staging) with hit/miss/recycle stats.
+//! * [`slab`] — typed slab/arena allocators (stable keys, generation-checked
+//!   handles, free-list reuse, `memacct` hookup) that per-call / per-QP
+//!   state compacts onto, so the Fig. 11 memory-scaling axis can be pushed
+//!   to ~100k concurrent calls.
 //! * [`sg`] — [`sg::SgBytes`], the scatter-gather byte list that lets wire
 //!   packets chain a pooled header in front of caller-owned payload slices
 //!   without copying either.
@@ -54,5 +58,6 @@ pub mod memacct;
 pub mod pool;
 pub mod rng;
 pub mod sg;
+pub mod slab;
 pub mod stats;
 pub mod validity;

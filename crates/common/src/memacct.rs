@@ -111,6 +111,23 @@ impl MemRegistry {
     }
 }
 
+/// Resident-set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmRSS`). Returns `None` where procfs is
+/// unavailable (non-Linux hosts, restricted sandboxes) — callers must
+/// record an honest skip rather than a zero, since tracked-counter
+/// reconciliation against a missing RSS is meaningless.
+#[must_use]
+pub fn procfs_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 /// RAII guard: the tracked bytes are released when the scope drops.
 #[derive(Debug)]
 pub struct MemScope {
@@ -139,6 +156,17 @@ impl MemScope {
         let b = bytes.min(self.bytes);
         self.counter.sub(b);
         self.bytes -= b;
+    }
+
+    /// Sets the tracked amount to exactly `bytes` — the idiom for scopes
+    /// mirroring a container's retained capacity (slab backing array,
+    /// codec scratch buffer) rather than accumulating deltas.
+    pub fn set(&mut self, bytes: u64) {
+        if bytes > self.bytes {
+            self.grow(bytes - self.bytes);
+        } else {
+            self.shrink(self.bytes - bytes);
+        }
     }
 
     /// Bytes currently tracked by this scope.

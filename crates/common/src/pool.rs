@@ -14,6 +14,15 @@
 //! [`PoolStats`] exposes hit/miss/recycle counters that
 //! `iwarp-telemetry` folds into every snapshot (as `pool.hits` etc.), so
 //! copy elimination is measurable rather than asserted.
+//!
+//! Byte-level accounting distinguishes two pools of storage that naive
+//! accounting double-counts: `retained_bytes` is storage parked on free
+//! lists (pool overhead — resident but serving nobody), while
+//! `lent_bytes` is frozen storage whose [`Bytes`] views are still
+//! in flight (working-set memory that belongs to the datapath, not the
+//! pool). Snapshots report them separately (`pool.retained_bytes` /
+//! `pool.in_flight_bytes`) so per-call memory figures can reconcile
+//! tracked bytes against procfs RSS without counting lent buffers twice.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,6 +55,10 @@ struct StatsInner {
     hits: AtomicU64,
     misses: AtomicU64,
     recycled: AtomicU64,
+    /// Gauge: bytes parked on free lists (accounted at class size).
+    retained_bytes: AtomicU64,
+    /// Gauge: bytes of frozen storage lent out as live [`Bytes`] views.
+    lent_bytes: AtomicU64,
 }
 
 impl PoolStats {
@@ -66,6 +79,23 @@ impl PoolStats {
     #[must_use]
     pub fn recycled(&self) -> u64 {
         self.inner.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Gauge: bytes currently parked on free lists, i.e. pool overhead
+    /// that is resident but serving no caller. Accounted at size-class
+    /// granularity (a buffer in the 4 KiB class counts 4 KiB).
+    #[must_use]
+    pub fn retained_bytes(&self) -> u64 {
+        self.inner.retained_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Gauge: bytes of frozen storage whose [`Bytes`] views are still in
+    /// flight. This is datapath working-set memory, **not** pool overhead
+    /// — report it separately from [`PoolStats::retained_bytes`] or the
+    /// same allocation gets counted twice.
+    #[must_use]
+    pub fn lent_bytes(&self) -> u64 {
+        self.inner.lent_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -133,6 +163,13 @@ impl BufPool {
         (shift <= MAX_SHIFT).then(|| (shift - MIN_SHIFT) as usize)
     }
 
+    /// Accounting unit for a class: its nominal buffer size. Buffers in a
+    /// class always hold at least this capacity, so gauges move by a fixed
+    /// amount per buffer regardless of the requested length.
+    fn class_bytes(class: usize) -> u64 {
+        1u64 << (class as u32 + MIN_SHIFT)
+    }
+
     /// Returns a zeroed scratch buffer of exactly `len` bytes.
     ///
     /// Drop it to return the storage to the free list, or
@@ -157,10 +194,16 @@ impl BufPool {
                     let i = shard.scan % shard.lent.len();
                     if Arc::strong_count(&shard.lent[i]) == 1 {
                         let arc = shard.lent.swap_remove(i);
+                        stats
+                            .lent_bytes
+                            .fetch_sub(Self::class_bytes(class), Ordering::Relaxed);
                         if let Ok(vec) = Arc::try_unwrap(arc) {
                             stats.recycled.fetch_add(1, Ordering::Relaxed);
                             if shard.free.len() < PER_CLASS_CAP {
                                 shard.free.push(vec);
+                                stats
+                                    .retained_bytes
+                                    .fetch_add(Self::class_bytes(class), Ordering::Relaxed);
                             }
                         }
                     } else {
@@ -170,6 +213,9 @@ impl BufPool {
                 match shard.free.pop() {
                     Some(vec) => {
                         stats.hits.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .retained_bytes
+                            .fetch_sub(Self::class_bytes(class), Ordering::Relaxed);
                         (vec, Some(class))
                     }
                     None => {
@@ -237,6 +283,11 @@ impl PoolBuf {
                 let mut shard = self.pool.shards[class].lock();
                 if shard.lent.len() < PER_CLASS_CAP {
                     shard.lent.push(arc);
+                    self.pool
+                        .stats
+                        .inner
+                        .lent_bytes
+                        .fetch_add(BufPool::class_bytes(class), Ordering::Relaxed);
                 }
                 bytes
             }
@@ -250,6 +301,11 @@ impl Drop for PoolBuf {
             let mut shard = self.pool.shards[class].lock();
             if shard.free.len() < PER_CLASS_CAP {
                 shard.free.push(vec);
+                self.pool
+                    .stats
+                    .inner
+                    .retained_bytes
+                    .fetch_add(BufPool::class_bytes(class), Ordering::Relaxed);
             }
         }
     }
@@ -327,6 +383,33 @@ mod tests {
         let _ = b.freeze();
         assert_eq!(pool.free_buffers(), 0);
         assert_eq!(pool.stats().misses(), 1);
+    }
+
+    #[test]
+    fn retained_vs_lent_gauges_never_double_count() {
+        let pool = BufPool::new();
+        let stats = pool.stats();
+        // Checked out: neither retained nor lent.
+        let b = pool.get(100); // 128 B class
+        assert_eq!(stats.retained_bytes(), 0);
+        assert_eq!(stats.lent_bytes(), 0);
+        // Frozen with a live view: lent (in flight), not retained.
+        let frozen = b.freeze();
+        assert_eq!(stats.retained_bytes(), 0);
+        assert_eq!(stats.lent_bytes(), 128);
+        // Plain drop: retained.
+        let b2 = pool.get(64);
+        drop(b2);
+        assert_eq!(stats.retained_bytes(), 64);
+        assert_eq!(stats.lent_bytes(), 128);
+        // Last view dropped + reclaimed on the next same-class get: the
+        // storage moves from lent to retained, never both at once.
+        drop(frozen);
+        let b3 = pool.get(128); // reclaims, then hands the storage back out
+        assert_eq!(stats.lent_bytes(), 0);
+        assert_eq!(stats.retained_bytes(), 64);
+        drop(b3);
+        assert_eq!(stats.retained_bytes(), 64 + 128);
     }
 
     #[test]

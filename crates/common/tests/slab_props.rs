@@ -1,0 +1,99 @@
+//! Property-based tests for the slab allocator: the slab is driven with
+//! arbitrary insert/remove/re-insert sequences against a naive model,
+//! checking the three contracts the per-call state compaction leans on —
+//! live handles never alias, generation checks catch every use of a
+//! freed handle, and occupancy always equals the live set.
+
+use proptest::prelude::*;
+
+use iwarp_common::slab::{Handle, Slab, SlabStats};
+
+proptest! {
+    /// The slab agrees with a vector model under arbitrary op sequences:
+    /// every live handle resolves to its own value (no aliasing, even
+    /// across free-list reuse), every freed handle is rejected forever,
+    /// and `len`/stats occupancy track the model's live set exactly.
+    #[test]
+    fn slab_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..160)) {
+        let stats = SlabStats::new();
+        let mut slab: Slab<u64> = Slab::new().with_stats(stats.clone());
+        let mut live: Vec<(Handle, u64)> = Vec::new();
+        let mut freed: Vec<Handle> = Vec::new();
+        let mut next_value = 0u64;
+
+        for &(op, sel) in &ops {
+            match op % 4 {
+                // Insert (twice as likely: ops 0 and 1) — the fresh
+                // handle must not equal any live handle.
+                0 | 1 => {
+                    let h = slab.insert(next_value);
+                    for &(lh, _) in &live {
+                        prop_assert_ne!(lh, h, "fresh handle aliases a live one");
+                    }
+                    live.push((h, next_value));
+                    next_value += 1;
+                }
+                // Remove a random live entry; its handle goes stale.
+                2 if !live.is_empty() => {
+                    let i = sel as usize % live.len();
+                    let (h, v) = live.swap_remove(i);
+                    prop_assert_eq!(slab.remove(h), Some(v));
+                    freed.push(h);
+                }
+                // Use-after-free: a freed handle must never resolve or
+                // double-free, even after its slot was reused.
+                3 if !freed.is_empty() => {
+                    let h = freed[sel as usize % freed.len()];
+                    prop_assert!(slab.get(h).is_none(), "stale handle resolved");
+                    prop_assert!(slab.remove(h).is_none(), "stale handle double-freed");
+                }
+                _ => {}
+            }
+
+            // Step invariants: occupancy == live set, every live handle
+            // reads back its own value.
+            prop_assert_eq!(slab.len(), live.len());
+            prop_assert_eq!(stats.live(), live.len() as u64);
+            prop_assert!(stats.slots() >= stats.live());
+            for &(h, v) in &live {
+                prop_assert_eq!(slab.get(h).copied(), Some(v));
+            }
+        }
+
+        // Iteration visits exactly the live set (order-insensitive).
+        let mut from_iter: Vec<(Handle, u64)> =
+            slab.iter().map(|(h, &v)| (h, v)).collect();
+        let mut expected = live.clone();
+        from_iter.sort_by_key(|(h, _)| h.to_u64());
+        expected.sort_by_key(|(h, _)| h.to_u64());
+        prop_assert_eq!(from_iter, expected);
+
+        // Accounting: the slab never grew more slots than total inserts,
+        // and every free-list reuse is counted.
+        prop_assert_eq!(stats.allocs(), next_value);
+        prop_assert_eq!(stats.frees(), freed.len() as u64);
+        prop_assert!(stats.slots() as usize <= next_value.max(1) as usize);
+        prop_assert_eq!(stats.allocs() - stats.reuses(), stats.slots());
+    }
+
+    /// Handles survive the u64 round-trip (`to_u64`/`from_u64`) for
+    /// arbitrary slab states — the form the socket shim's completion
+    /// tokens and any serialized diagnostics rely on.
+    #[test]
+    fn handle_u64_roundtrip_holds(inserts in 1usize..64, removes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let mut slab: Slab<usize> = Slab::new();
+        let mut handles: Vec<Handle> = (0..inserts).map(|i| slab.insert(i)).collect();
+        for &r in &removes {
+            if handles.is_empty() {
+                break;
+            }
+            let h = handles.swap_remove(r as usize % handles.len());
+            slab.remove(h);
+            // Re-insert to churn generations.
+            handles.push(slab.insert(usize::MAX));
+        }
+        for &h in &handles {
+            prop_assert_eq!(Handle::from_u64(h.to_u64()), h);
+        }
+    }
+}

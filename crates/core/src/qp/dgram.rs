@@ -1000,6 +1000,16 @@ impl DatagramQp {
         self.inner.rx.records_pending()
     }
 
+    /// Whether the receive engine's cold substructures (reassembly map,
+    /// Write-Record table, pending-read scoreboard) have been allocated.
+    /// Stays `false` for idle QPs and for traffic that rides the
+    /// single-segment fast path — the memory-scaling invariant the slab
+    /// compaction work (and its regression tests) relies on.
+    #[must_use]
+    pub fn rx_cold_allocated(&self) -> bool {
+        self.inner.rx.cold_state_allocated()
+    }
+
     /// Subscribes this UD QP to a multicast group: sends addressed to
     /// `UdDest { addr: group, .. }` then reach every member — the
     /// "multicast capable iWARP" the paper's motivation calls out for

@@ -158,6 +158,37 @@ pub(crate) struct PendingRead {
     signaled: bool,
 }
 
+/// Cold receive-side substructures: reassembly state for multi-segment
+/// untagged messages, the Write-Record aggregation table, and the
+/// pending-read scoreboard.
+///
+/// An idle QP — the common case at 100k concurrent mostly-quiet calls —
+/// touches none of these: single-segment sends ride the fast path in
+/// [`RxCore::place_untagged`], and reads/Write-Records simply never
+/// happen. So the whole bundle lives behind one `Option<Box<..>>` and is
+/// allocated on the first segment that actually needs it, not at QP
+/// create. The consolidation also collapses what used to be three
+/// separate mutexes into one; lock order where it nests is `cold` before
+/// `rq`, matching the old `pending_recv` → `rq` order.
+struct RxCold {
+    /// Untagged messages in flight, keyed by `(src, src_qpn, msg_id)`.
+    pending_recv: HashMap<(Addr, u32, u64), PendingRecv>,
+    /// Write-Record aggregation / GC state.
+    records: RecordTable,
+    /// Outstanding RDMA Reads issued by this QP, keyed by transaction id.
+    pending_reads: HashMap<u64, PendingRead>,
+}
+
+impl RxCold {
+    fn new(cfg: &QpConfig) -> Box<Self> {
+        Box::new(Self {
+            pending_recv: HashMap::new(),
+            records: RecordTable::new(cfg.record_ttl),
+            pending_reads: HashMap::new(),
+        })
+    }
+}
+
 /// The shared receive-side engine state.
 pub(crate) struct RxCore {
     pub mrs: std::sync::Arc<MrTable>,
@@ -171,9 +202,9 @@ pub(crate) struct RxCore {
     /// corrupt matching.
     reliable: bool,
     rq: Mutex<VecDeque<RecvWr>>,
-    pending_recv: Mutex<HashMap<(Addr, u32, u64), PendingRecv>>,
-    records: RecordTable,
-    pending_reads: Mutex<HashMap<u64, PendingRead>>,
+    /// Lazily allocated cold state (see [`RxCold`]). `None` until the
+    /// first multi-segment message, Write-Record notify, or issued read.
+    cold: Mutex<Option<Box<RxCold>>>,
     /// `wr_id`s of completed *unsignaled* reads, in completion order,
     /// awaiting [`Self::take_retired_reads`]. Reads complete out of
     /// order, so suppressed completions are reported as a drainable list
@@ -199,19 +230,23 @@ impl RxCore {
         Self {
             mrs,
             recv_cq,
-            records: RecordTable::new(cfg.record_ttl),
             cfg,
             stats: QpStats::default(),
             tel,
             reliable,
             rq: Mutex::new(VecDeque::new()),
-            pending_recv: Mutex::new(HashMap::new()),
-            pending_reads: Mutex::new(HashMap::new()),
+            cold: Mutex::new(None),
             retired_reads: Mutex::new(Vec::new()),
             next_sweep: Mutex::new(Instant::now() + Duration::from_millis(50)),
             staging: AtomicBool::new(false),
             staged: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Whether the cold bundle has been allocated (diagnostics/tests: an
+    /// idle or fast-path-only QP must report `false`).
+    pub fn cold_state_allocated(&self) -> bool {
+        self.cold.lock().is_some()
     }
 
     /// Emits one receive-side completion: staged while a completion batch
@@ -272,7 +307,11 @@ impl RxCore {
 
     /// Registers a pending RDMA Read awaiting its response.
     pub fn register_read(&self, msg_id: u64, read: PendingRead) {
-        self.pending_reads.lock().insert(msg_id, read);
+        self.cold
+            .lock()
+            .get_or_insert_with(|| RxCold::new(&self.cfg))
+            .pending_reads
+            .insert(msg_id, read);
     }
 
     pub fn new_pending_read(
@@ -308,7 +347,12 @@ impl RxCore {
             return false;
         }
         let key = (src, hdr.src_qpn, hdr.msg_id);
-        if self.pending_recv.lock().contains_key(&key) {
+        if self
+            .cold
+            .lock()
+            .as_deref()
+            .is_some_and(|c| c.pending_recv.contains_key(&key))
+        {
             return false; // continuation of an in-flight message
         }
         self.rq.lock().is_empty()
@@ -423,19 +467,20 @@ impl RxCore {
     /// segment, complete when the whole message has arrived.
     fn place_untagged(&self, src: Addr, hdr: &UntaggedHdr, payload: &Bytes) {
         let key = (src, hdr.src_qpn, hdr.msg_id);
-        let mut pending = self.pending_recv.lock();
+        let mut cold = self.cold.lock();
         // Single-segment fast path: a message that arrives whole needs no
         // reassembly state, so skip the pending-map round-trip, validity
         // tracking, and expiry timestamping. Guarded on an empty pending
-        // map so an in-flight reassembly (or a lingering discard entry)
-        // for this key falls through to the full path below, which is
-        // byte-for-byte equivalent for this shape of segment.
+        // map (trivially true while the cold bundle is unallocated) so an
+        // in-flight reassembly (or a lingering discard entry) for this key
+        // falls through to the full path below, which is byte-for-byte
+        // equivalent for this shape of segment.
         if hdr.mo == 0
             && hdr.last
             && payload.len() as u64 == u64::from(hdr.total_len)
-            && pending.is_empty()
+            && cold.as_deref().is_none_or(|c| c.pending_recv.is_empty())
         {
-            drop(pending);
+            drop(cold);
             let Some(wr) = self.rq.lock().pop_front() else {
                 self.stats.dropped_no_rq.fetch_add(1, Ordering::Relaxed);
                 self.tel.dropped_no_rq.inc();
@@ -484,6 +529,9 @@ impl RxCore {
             });
             return;
         }
+        // Multi-segment (or colliding) message: reassembly state is needed,
+        // so the cold bundle allocates here — on first use, not QP create.
+        let pending = &mut cold.get_or_insert_with(|| RxCold::new(&self.cfg)).pending_recv;
         let entry = match pending.get_mut(&key) {
             Some(e) => e,
             None => {
@@ -636,7 +684,9 @@ impl RxCore {
                 self.tel
                     .trace(EventKind::Placement, payload.len() as u64, hdr.msg_id);
                 if hdr.notify {
-                    if let Some(info) = self.records.ingest(src, hdr, payload.len()) {
+                    let mut cold = self.cold.lock();
+                    let records = &cold.get_or_insert_with(|| RxCold::new(&self.cfg)).records;
+                    if let Some(info) = records.ingest(src, hdr, payload.len()) {
                         let complete = info.is_complete();
                         let status = if complete {
                             CqeStatus::Success
@@ -713,7 +763,16 @@ impl RxCore {
 
     /// Places an RDMA Read Response segment into the pending read's sink.
     fn place_read_response(&self, hdr: &TaggedHdr, payload: &Bytes, pending: Option<PendingCrc>) {
-        let mut reads = self.pending_reads.lock();
+        let mut cold = self.cold.lock();
+        // No cold state means no read was ever issued: treat like any
+        // other duplicate/late response below.
+        let reads = match cold.as_deref_mut() {
+            Some(c) => &mut c.pending_reads,
+            None => {
+                let _ = self.settle_crc(pending.as_ref(), payload);
+                return;
+            }
+        };
         let Some(pr) = reads.get_mut(&hdr.msg_id) else {
             // Duplicate/late response; still settle a deferred check so
             // corrupt wire bytes are counted as corruption.
@@ -775,10 +834,17 @@ impl RxCore {
             }
             *next = now + Duration::from_millis(50);
         }
+        let mut cold_guard = self.cold.lock();
+        // Nothing cold has ever been allocated → nothing can be stale.
+        // This keeps expire() at two mutex probes for idle QPs, which is
+        // what lets 100k quiet calls share one sweeping engine.
+        let Some(cold) = cold_guard.as_deref_mut() else {
+            return;
+        };
         if self.reliable {
             // Reliable LLP: everything in flight will complete; only the
             // Write-Record table (shared semantics) still GCs.
-            let gc = self.records.gc();
+            let gc = cold.records.gc();
             if gc.reaped > 0 {
                 self.stats
                     .records_reaped
@@ -788,7 +854,7 @@ impl RxCore {
             return;
         }
         {
-            let mut pending = self.pending_recv.lock();
+            let pending = &mut cold.pending_recv;
             let ttl = self.cfg.recv_ttl;
             let expired: Vec<_> = pending
                 .iter()
@@ -817,7 +883,7 @@ impl RxCore {
             }
         }
         {
-            let mut reads = self.pending_reads.lock();
+            let reads = &mut cold.pending_reads;
             let ttl = self.cfg.read_ttl;
             let expired: Vec<u64> = reads
                 .iter()
@@ -839,7 +905,7 @@ impl RxCore {
                 });
             }
         }
-        let gc = self.records.gc();
+        let gc = cold.records.gc();
         if gc.reaped > 0 {
             self.stats
                 .records_reaped
@@ -867,6 +933,9 @@ impl RxCore {
 
     /// Write-Record messages currently awaiting their final segment.
     pub fn records_pending(&self) -> usize {
-        self.records.pending()
+        self.cold
+            .lock()
+            .as_deref()
+            .map_or(0, |c| c.records.pending())
     }
 }

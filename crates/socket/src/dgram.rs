@@ -32,7 +32,7 @@ use iwarp::{
 };
 
 use crate::control::Control;
-use crate::stack::{FdKind, StackInner};
+use crate::stack::{DgramProfile, FdKind, FdSlot, StackInner};
 
 /// Datagram data path through the shim.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,7 +90,7 @@ impl SockTel {
 }
 
 struct DgramInner {
-    fd: u32,
+    fd: FdSlot,
     stack: Arc<StackInner>,
     tel: SockTel,
     qp: UdQp,
@@ -120,9 +120,14 @@ pub struct DgramSocket {
 }
 
 impl DgramSocket {
-    pub(crate) fn open(stack: Arc<StackInner>, port: Option<u16>) -> IwarpResult<Self> {
+    pub(crate) fn open(
+        stack: Arc<StackInner>,
+        port: Option<u16>,
+        profile: Option<DgramProfile>,
+    ) -> IwarpResult<Self> {
         let cfg = &stack.cfg;
-        let depth = cfg.recv_slots * 2 + 32;
+        let profile = profile.unwrap_or_else(|| DgramProfile::from_config(cfg));
+        let depth = profile.recv_slots * 2 + 32;
         let send_cq = Cq::new(depth);
         let recv_cq = Cq::new(depth);
         let qp = stack
@@ -130,13 +135,13 @@ impl DgramSocket {
             .create_ud_qp(port, &send_cq, &recv_cq, cfg.qp.clone())?;
         let slot_mr = stack
             .device
-            .register(cfg.recv_slots * cfg.slot_size, Access::Local);
-        for i in 0..cfg.recv_slots {
+            .register(profile.recv_slots * profile.slot_size, Access::Local);
+        for i in 0..profile.recv_slots {
             qp.post_recv(RecvWr {
                 wr_id: i as u64,
                 mr: slot_mr.clone(),
-                offset: (i * cfg.slot_size) as u64,
-                len: cfg.slot_size as u32,
+                offset: (i * profile.slot_size) as u64,
+                len: profile.slot_size as u32,
             })?;
         }
         let ring_mr = match cfg.mode {
@@ -144,7 +149,7 @@ impl DgramSocket {
             DgramMode::WriteRecord => Some(
                 stack
                     .device
-                    .register(cfg.recv_slots * cfg.slot_size, Access::RemoteWrite),
+                    .register(profile.recv_slots * profile.slot_size, Access::RemoteWrite),
             ),
         };
         let fd = stack.alloc_fd(FdKind::Dgram);
@@ -155,7 +160,7 @@ impl DgramSocket {
         if stack.cfg.notify == iwarp_common::notifypath::NotifyPath::Event
             && !stack.cfg.qp.poll_mode
         {
-            recv_cq.attach_channel(&stack.chan, u64::from(fd));
+            recv_cq.attach_channel(&stack.chan, u64::from(fd.fd));
         }
         let buffer_bytes =
             (slot_mr.len() + ring_mr.as_ref().map_or(0, iwarp::MemoryRegion::len)) as u64;
@@ -167,8 +172,8 @@ impl DgramSocket {
         Ok(Self {
             inner: Arc::new(DgramInner {
                 fd,
-                slot_size: cfg.slot_size,
-                slots: cfg.recv_slots,
+                slot_size: profile.slot_size,
+                slots: profile.recv_slots,
                 stack,
                 tel,
                 qp,
@@ -189,7 +194,7 @@ impl DgramSocket {
     /// The shim's file-descriptor number for this socket.
     #[must_use]
     pub fn fd(&self) -> u32 {
-        self.inner.fd
+        self.inner.fd.fd
     }
 
     /// The socket's bound address (what peers `send_to`).
@@ -368,18 +373,24 @@ impl DgramSocket {
     /// engine in poll mode) and returns one datagram if available. The
     /// building block for event loops over many sockets.
     pub fn try_recv_from(&self, buf: &mut [u8]) -> IwarpResult<Option<(usize, Addr)>> {
-        if let Some((src, data)) = self.inner.state.lock().ready.pop_front() {
+        Ok(self.try_recv_bytes()?.map(|(src, data)| {
             let n = data.len().min(buf.len());
             buf[..n].copy_from_slice(&data[..n]);
-            return Ok(Some((n, src)));
+            (n, src)
+        }))
+    }
+
+    /// Zero-copy flavour of [`Self::try_recv_from`]: hands out the ready
+    /// datagram as the [`Bytes`] the receive path already produced,
+    /// avoiding the copy into a caller buffer. Steady-state consumers
+    /// that parse in place (the SIP hot path) use this so a transaction
+    /// touches no fresh heap on receive.
+    pub fn try_recv_bytes(&self) -> IwarpResult<Option<(Addr, Bytes)>> {
+        if let Some(hit) = self.inner.state.lock().ready.pop_front() {
+            return Ok(Some(hit));
         }
         self.pump(Duration::ZERO)?;
-        if let Some((src, data)) = self.inner.state.lock().ready.pop_front() {
-            let n = data.len().min(buf.len());
-            buf[..n].copy_from_slice(&data[..n]);
-            return Ok(Some((n, src)));
-        }
-        Ok(None)
+        Ok(self.inner.state.lock().ready.pop_front())
     }
 
     /// Ensures we hold a ring advertisement (or fallback verdict) for `dst`.

@@ -36,5 +36,5 @@ mod stack;
 mod stream;
 
 pub use dgram::{DgramMode, DgramSocket};
-pub use stack::{SocketConfig, SocketStack};
+pub use stack::{DgramProfile, SocketConfig, SocketStack};
 pub use stream::{StreamListener, StreamSocket};

@@ -5,8 +5,6 @@
 //! and whether the file descriptor has been previously initialized as an
 //! iWARP socket [is stored in the interface]" (paper §V.A.1).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,6 +13,7 @@ use simnet::{Addr, Fabric, NodeId};
 
 use iwarp::{CompletionChannel, Device, DeviceConfig, IwarpResult, QpConfig};
 use iwarp_common::notifypath::{self, NotifyPath};
+use iwarp_common::slab::{Handle, Slab, SlabStats};
 
 use crate::dgram::{DgramMode, DgramSocket};
 use crate::stream::{StreamListener, StreamSocket};
@@ -73,25 +72,84 @@ pub enum FdKind {
     Listener,
 }
 
+/// Per-socket receive-resource sizing, overriding the stack-wide
+/// [`SocketConfig`] defaults for one socket.
+///
+/// The Fig. 11 memory-per-call axis is dominated by the receive slot
+/// region (`recv_slots × slot_size` of registered memory per socket): the
+/// stack default (16 × 8 KiB) is right for general datagram traffic but
+/// is ~128 KiB of resident state a per-call SIP socket — which only ever
+/// sees a handful of sub-KiB in-dialog requests — never touches.
+/// [`DgramProfile::compact`] right-sizes those sockets; datagrams larger
+/// than `slot_size` are dropped at the receiver with a `RecvTooSmall`
+/// diagnostic, UDP-style, exactly as with the stack-wide `slot_size`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DgramProfile {
+    /// Pre-posted receive slots for this socket.
+    pub recv_slots: usize,
+    /// Bytes per receive slot (largest deliverable datagram).
+    pub slot_size: usize,
+}
+
+impl DgramProfile {
+    /// Small-footprint profile for per-call control sockets: 2 slots of
+    /// 1 KiB. Two slots tolerate a request arriving while the previous
+    /// one is being consumed; 1 KiB comfortably holds every in-dialog SIP
+    /// message the workload generates (~300–600 B).
+    #[must_use]
+    pub fn compact() -> Self {
+        Self {
+            recv_slots: 2,
+            slot_size: 1024,
+        }
+    }
+
+    /// The stack-wide default profile from `cfg`.
+    pub(crate) fn from_config(cfg: &SocketConfig) -> Self {
+        Self {
+            recv_slots: cfg.recv_slots,
+            slot_size: cfg.slot_size,
+        }
+    }
+}
+
+/// First fd the shim hands out (0–2 stay reserved, POSIX-style).
+const FD_BASE: u32 = 3;
+
+/// A slab-backed fd reservation: the public fd number a socket exposes
+/// plus the generation-checked [`Handle`] guarding its slot, so a
+/// double-release (or a release racing a reuse) is rejected by the slab
+/// instead of silently evicting the slot's new occupant.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FdSlot {
+    /// Public fd number (`FD_BASE + slot index`; reused after close).
+    pub fd: u32,
+    handle: Handle,
+}
+
 pub(crate) struct StackInner {
     pub device: Device,
     pub cfg: SocketConfig,
     /// Stack-wide completion channel datagram sockets subscribe to in
     /// `NotifyPath::Event` (token = fd).
     pub chan: CompletionChannel,
-    next_fd: AtomicU32,
-    fds: Mutex<HashMap<u32, FdKind>>,
+    /// The fd table, compacted onto a slab: fds are `FD_BASE + index`, so
+    /// 100k sockets cost one contiguous tag array instead of 100k hashed
+    /// nodes, and closed slots are reused instead of growing forever.
+    fds: Mutex<Slab<FdKind>>,
 }
 
 impl StackInner {
-    pub fn alloc_fd(&self, kind: FdKind) -> u32 {
-        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
-        self.fds.lock().insert(fd, kind);
-        fd
+    pub fn alloc_fd(&self, kind: FdKind) -> FdSlot {
+        let handle = self.fds.lock().insert(kind);
+        FdSlot {
+            fd: FD_BASE + handle.index(),
+            handle,
+        }
     }
 
-    pub fn release_fd(&self, fd: u32) {
-        self.fds.lock().remove(&fd);
+    pub fn release_fd(&self, slot: FdSlot) {
+        self.fds.lock().remove(slot.handle);
     }
 }
 
@@ -119,13 +177,23 @@ impl SocketStack {
     ) -> Self {
         let chan = CompletionChannel::new();
         chan.attach_telemetry(fabric.telemetry());
+        let device = Device::with_config(fabric, node, device_cfg);
+        // The fd slab reports its backing bytes to the device's memory
+        // registry (category "fd_table") and its activity to the fabric's
+        // telemetry domain (`mem.slab.*`).
+        let mut fds = Slab::new();
+        if let Some(reg) = device.mem() {
+            fds = fds.with_mem(reg.track("fd_table", 0));
+        }
+        let stats = SlabStats::new();
+        fabric.telemetry().attach_slab(stats.clone());
+        fds = fds.with_stats(stats);
         Self {
             inner: Arc::new(StackInner {
-                device: Device::with_config(fabric, node, device_cfg),
+                device,
                 cfg,
                 chan,
-                next_fd: AtomicU32::new(3),
-                fds: Mutex::new(HashMap::new()),
+                fds: Mutex::new(fds),
             }),
         }
     }
@@ -144,12 +212,25 @@ impl SocketStack {
 
     /// Opens a datagram socket at an ephemeral port.
     pub fn dgram(&self) -> IwarpResult<DgramSocket> {
-        DgramSocket::open(Arc::clone(&self.inner), None)
+        DgramSocket::open(Arc::clone(&self.inner), None, None)
     }
 
     /// Opens a datagram socket bound at `port`.
     pub fn dgram_bound(&self, port: u16) -> IwarpResult<DgramSocket> {
-        DgramSocket::open(Arc::clone(&self.inner), Some(port))
+        DgramSocket::open(Arc::clone(&self.inner), Some(port), None)
+    }
+
+    /// Opens a datagram socket at an ephemeral port with an explicit
+    /// receive-resource profile (e.g. [`DgramProfile::compact`] for
+    /// per-call sockets that only ever see small control messages).
+    pub fn dgram_with(&self, profile: DgramProfile) -> IwarpResult<DgramSocket> {
+        DgramSocket::open(Arc::clone(&self.inner), None, Some(profile))
+    }
+
+    /// Opens a datagram socket bound at `port` with an explicit
+    /// receive-resource profile.
+    pub fn dgram_bound_with(&self, port: u16, profile: DgramProfile) -> IwarpResult<DgramSocket> {
+        DgramSocket::open(Arc::clone(&self.inner), Some(port), Some(profile))
     }
 
     /// Connects a stream socket to a remote listener.
@@ -208,6 +289,31 @@ mod tests {
         assert_eq!(stack.open_sockets(), 1);
         drop(s2);
         assert_eq!(stack.open_sockets(), 0);
+    }
+
+    #[test]
+    fn fd_slots_are_reused_after_close() {
+        let fab = Fabric::loopback();
+        let stack = SocketStack::new(&fab, NodeId(0));
+        let s1 = stack.dgram().unwrap();
+        let fd1 = s1.fd();
+        drop(s1);
+        // The slab reuses the freed slot, so the fd number comes back
+        // instead of growing the table forever.
+        let s2 = stack.dgram().unwrap();
+        assert_eq!(s2.fd(), fd1);
+        assert_eq!(stack.open_sockets(), 1);
+    }
+
+    #[test]
+    fn compact_profile_right_sizes_the_socket() {
+        let fab = Fabric::loopback();
+        let stack = SocketStack::new(&fab, NodeId(0));
+        let s = stack.dgram_with(DgramProfile::compact()).unwrap();
+        assert_eq!(s.max_datagram(), 1024);
+        // Default-profile sockets are unchanged.
+        let d = stack.dgram().unwrap();
+        assert_eq!(d.max_datagram(), stack.config().slot_size);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use iwarp::qp::RcListener;
 use iwarp::wr::RecvWr;
 use iwarp::{Access, Cq, CqeOpcode, CqeStatus, IwarpError, IwarpResult, MemoryRegion, RcQp};
 
-use crate::stack::{FdKind, StackInner};
+use crate::stack::{FdKind, FdSlot, StackInner};
 
 /// Fabric-domain telemetry handles for one stream socket.
 struct StreamTel {
@@ -37,7 +37,7 @@ impl StreamTel {
 }
 
 struct StreamInner {
-    fd: u32,
+    fd: FdSlot,
     stack: Arc<StackInner>,
     qp: RcQp,
     send_cq: Cq,
@@ -110,7 +110,7 @@ impl StreamSocket {
     /// The shim's file-descriptor number.
     #[must_use]
     pub fn fd(&self) -> u32 {
-        self.inner.fd
+        self.inner.fd.fd
     }
 
     /// Local endpoint address.
@@ -274,7 +274,7 @@ impl Drop for StreamSocket {
 
 /// A listening stream socket.
 pub struct StreamListener {
-    fd: u32,
+    fd: FdSlot,
     stack: Arc<StackInner>,
     listener: RcListener,
 }
@@ -293,7 +293,7 @@ impl StreamListener {
     /// The shim's file-descriptor number.
     #[must_use]
     pub fn fd(&self) -> u32 {
-        self.fd
+        self.fd.fd
     }
 
     /// The listening address.

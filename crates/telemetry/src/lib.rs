@@ -48,6 +48,7 @@ use std::time::Instant;
 
 use iwarp_common::memacct::MemRegistry;
 use iwarp_common::pool::PoolStats;
+use iwarp_common::slab::SlabStats;
 use parking_lot::RwLock;
 
 use counters::Registry;
@@ -75,6 +76,9 @@ struct Inner {
     /// Buffer-pool stats folded into snapshots under `pool.*` (summed if
     /// several pools are attached to one domain).
     pools: RwLock<Vec<PoolStats>>,
+    /// Slab-allocator stats folded into snapshots under `mem.slab.*`
+    /// (summed if several slab-stat handles are attached to one domain).
+    slabs: RwLock<Vec<SlabStats>>,
 }
 
 impl Telemetry {
@@ -92,6 +96,7 @@ impl Telemetry {
                 manual: std::sync::atomic::AtomicBool::new(false),
                 mem: RwLock::new(Vec::new()),
                 pools: RwLock::new(Vec::new()),
+                slabs: RwLock::new(Vec::new()),
             }),
         }
     }
@@ -150,6 +155,16 @@ impl Telemetry {
         self.inner.pools.write().push(stats);
     }
 
+    /// Registers a slab-allocator stats handle whose counters and gauges
+    /// appear in every [`Snapshot`] as
+    /// `mem.slab.{allocs,frees,reuses,stale_rejected,live,slots}` (summed
+    /// when several handles share the domain). `live`/`slots` are gauges —
+    /// `live / slots` is slab occupancy, the health ratio the scale bench
+    /// reports at each ramp checkpoint.
+    pub fn attach_slab(&self, stats: SlabStats) {
+        self.inner.slabs.write().push(stats);
+    }
+
     /// Captures the current value of every counter, histogram, and
     /// attached memory scope.
     #[must_use]
@@ -171,14 +186,49 @@ impl Telemetry {
             let pools = self.inner.pools.read();
             if !pools.is_empty() {
                 let (mut hits, mut misses, mut recycled) = (0u64, 0u64, 0u64);
+                let (mut retained, mut in_flight) = (0u64, 0u64);
                 for p in pools.iter() {
                     hits += p.hits();
                     misses += p.misses();
                     recycled += p.recycled();
+                    retained += p.retained_bytes();
+                    in_flight += p.lent_bytes();
                 }
                 entries.push(("pool.hits".into(), hits));
                 entries.push(("pool.misses".into(), misses));
                 entries.push(("pool.recycled".into(), recycled));
+                // Reported separately on purpose: retained is pool
+                // overhead (free-listed storage), in_flight is datapath
+                // working set lent out as live `Bytes`. Summing them —
+                // or adding either to `mem.*` scopes that already track
+                // the consumer — double-counts.
+                entries.push(("pool.retained_bytes".into(), retained));
+                entries.push(("pool.in_flight_bytes".into(), in_flight));
+            }
+        }
+        {
+            let slabs = self.inner.slabs.read();
+            if !slabs.is_empty() {
+                let mut sums = [0u64; 6];
+                for s in slabs.iter() {
+                    sums[0] += s.allocs();
+                    sums[1] += s.frees();
+                    sums[2] += s.reuses();
+                    sums[3] += s.stale_rejected();
+                    sums[4] += s.live();
+                    sums[5] += s.slots();
+                }
+                let names = [
+                    "mem.slab.allocs",
+                    "mem.slab.frees",
+                    "mem.slab.reuses",
+                    "mem.slab.stale_rejected",
+                    "mem.slab.live",
+                    "mem.slab.slots",
+                ];
+                for (name, v) in names.iter().zip(sums) {
+                    entries.push(((*name).into(), v));
+                }
             }
         }
         entries.sort();
@@ -229,6 +279,32 @@ mod tests {
         assert_eq!(snap.get("mem.sip_call.current"), Some(1024));
         assert_eq!(snap.get("mem.sip_call.peak"), Some(1024));
         drop(guard);
+    }
+
+    #[test]
+    fn snapshot_folds_slab_and_pool_bytes() {
+        let t = Telemetry::new();
+        let stats = SlabStats::new();
+        let mut slab = iwarp_common::slab::Slab::new().with_stats(stats.clone());
+        t.attach_slab(stats);
+        let a = slab.insert(7u64);
+        let _b = slab.insert(8u64);
+        slab.remove(a);
+        let snap = t.snapshot();
+        assert_eq!(snap.get("mem.slab.allocs"), Some(2));
+        assert_eq!(snap.get("mem.slab.frees"), Some(1));
+        assert_eq!(snap.get("mem.slab.live"), Some(1));
+        assert_eq!(snap.get("mem.slab.slots"), Some(2));
+
+        let pool = iwarp_common::pool::BufPool::new();
+        t.attach_pool(pool.stats());
+        let buf = pool.get(100); // 128 B class
+        let frozen = buf.freeze();
+        drop(pool.get(64)); // 64 B class, retained
+        let snap = t.snapshot();
+        assert_eq!(snap.get("pool.in_flight_bytes"), Some(128));
+        assert_eq!(snap.get("pool.retained_bytes"), Some(64));
+        drop(frozen);
     }
 
     #[test]

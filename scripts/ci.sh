@@ -66,12 +66,15 @@ echo "==> bulkread smoke: selective signaling at 1 MiB (lastonly >= 1.3x every1)
 # batches. The committed BENCH_PR8.json is the full sweep.
 cargo run --release -p iwarp-bench --bin bulkread -- --smoke --out target/bulkread_smoke.json
 
-echo "==> scale smoke: 256 SIP calls, 2 shards, event-driven completions"
+echo "==> scale smoke: 256/1024 SIP calls, 2 shards, event-driven completions"
 # Bounded concurrency-scaling run (legacy baseline + sharded/event mode);
 # fails if any call fails to establish. On hosts with host_cpus >= 2 it
 # additionally gates the PR 7 multi-core ratio: 4 pinned event shards
 # must beat 1 by >= 1.5x msgs/s; single-core hosts record an honest skip
-# (with host_cpus) in the acceptance JSON. Full matrix: bin scale (no flags).
+# (with host_cpus) in the acceptance JSON. The 1024-call event run also
+# carries the PR 10 memory gate: instrumented per-call bytes <= 6 KiB
+# (slab/arena compaction budget; pre-compaction baseline was ~18 KiB).
+# Full matrix: bin scale (no flags); 100k memory ramp: bin scale --ramp.
 cargo run --release -p iwarp-bench --bin scale -- --smoke --out target/scale_smoke.json
 
 echo "==> bench smoke: copypath kernels run once (--test mode)"

@@ -302,3 +302,81 @@ fn loss_pattern_is_deterministic_per_seed() {
     // (300 independent Bernoulli trials each).
     assert!(a.1 != c.1 || a.1.last() == Some(&0));
 }
+
+/// Memory regression gate (paper Fig. 11 axis): with the slab/arena
+/// compaction in place, the *instrumented* server-side cost of holding a
+/// SIP call must stay within the 6 KiB/call budget at 1k concurrent
+/// calls — the pre-compaction baseline was ~18 KiB/call. Sampled at
+/// peak concurrency (all calls established and held), on the event
+/// notify path the 100k ramp uses.
+#[test]
+fn per_call_memory_stays_within_compaction_budget() {
+    const CALLS: usize = 1000;
+    const BUDGET_BYTES_PER_CALL: u64 = 6144;
+
+    let fab = Fabric::new(WireConfig::default());
+    let reg = MemRegistry::new();
+    let server_cfg = SocketConfig {
+        recv_slots: 8,
+        slot_size: 2048,
+        notify: datagram_iwarp::common::notifypath::NotifyPath::Event,
+        ..SocketConfig::default()
+    };
+    let server_stack = SocketStack::with_config(
+        &fab,
+        NodeId(1),
+        datagram_iwarp::verbs::DeviceConfig {
+            mem: Some(reg.clone()),
+            ..Default::default()
+        },
+        server_cfg,
+    );
+    let client_cfg = SocketConfig {
+        recv_slots: 8,
+        slot_size: 2048,
+        qp: QpConfig {
+            poll_mode: true,
+            ..QpConfig::default()
+        },
+        ..SocketConfig::default()
+    };
+    let client_stack =
+        SocketStack::with_config(&fab, NodeId(0), Default::default(), client_cfg);
+
+    let server = SipServer::spawn(
+        server_stack,
+        SipServerConfig {
+            transport: SipTransport::Ud,
+            port: 5060,
+            call_state_bytes: 1024,
+        },
+    )
+    .unwrap();
+
+    let mut peak_bytes = 0u64;
+    let report = datagram_iwarp::apps::sip::load::run_sip_load_with_peak_sample(
+        &client_stack,
+        &SipLoadConfig {
+            calls: CALLS,
+            transport: SipTransport::Ud,
+            server_addr: Addr::new(1, 5060),
+            timeout: TO,
+            call_state_bytes: 1024,
+        },
+        || {
+            peak_bytes = reg.total_current();
+            (peak_bytes, reg.snapshot().into_iter().map(|(c, cur, _)| (c, cur)).collect())
+        },
+    )
+    .unwrap();
+    server.stop().unwrap();
+
+    assert_eq!(report.calls_established, CALLS);
+    let per_call = peak_bytes / CALLS as u64;
+    assert!(
+        per_call <= BUDGET_BYTES_PER_CALL,
+        "per-call instrumented memory regressed: {per_call} B/call > {BUDGET_BYTES_PER_CALL} B budget \
+         (peak {peak_bytes} B across {CALLS} calls; categories: {:?})",
+        reg.snapshot()
+    );
+}
